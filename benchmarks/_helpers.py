@@ -1,0 +1,12 @@
+"""Shared scenario builders for the system-level benchmarks.
+
+The implementations live in :mod:`repro.experiments.sweeps` (they are also
+used by the ``sweep-cluster-size`` CLI command); this module re-exports
+them so benchmark files can import locally.
+"""
+
+from repro.experiments.sweeps import (  # noqa: F401
+    SWITCHING_TITLE,
+    better_source_sweep,
+    run_better_source_scenario,
+)

@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures (see the
+per-experiment index in DESIGN.md §4), asserts the reproduction bands, and
+prints the regenerated artefact next to the paper's printed values (run
+``pytest benchmarks/ --benchmark-only -s`` to see the tables live).
+
+Everything passed to the ``show`` fixture is also appended to
+``benchmarks_report.txt`` in the repository root, so a plain
+``pytest benchmarks/ --benchmark-only`` run still leaves the full set of
+regenerated tables on disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "benchmarks_report.txt"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_report_file():
+    """Truncate the report file once per benchmark session."""
+    REPORT_PATH.write_text("", encoding="utf-8")
+    yield
+
+
+@pytest.fixture
+def show(request):
+    """Print through pytest's capture and persist to the report file."""
+
+    def _show(text: str) -> None:
+        print()
+        print(text)
+        with REPORT_PATH.open("a", encoding="utf-8") as handle:
+            handle.write(f"--- {request.node.nodeid} ---\n{text}\n\n")
+
+    return _show

@@ -1,0 +1,93 @@
+"""X4 — cluster-size sweep.
+
+The paper: "It is obvious that the size of the cluster c as determined in
+the description of the DMA, plays a decisive part in dealing with network
+congestion according to this latest technique."  The cluster is the
+switching granularity: with one giant cluster the session can never react
+to a mid-stream congestion change; with small clusters it escapes within
+one cluster time.  This bench sweeps c over the better-source-appears
+scenario and regenerates that trade-off curve, plus the decision-overhead
+side of the trade (more clusters = more VRA runs).
+"""
+
+import pytest
+
+from _helpers import SWITCHING_TITLE, run_better_source_scenario
+
+#: c sweep: 1500 MB title -> 60, 15, 6, 3, 1 clusters.
+CLUSTER_SIZES_MB = [25.0, 100.0, 250.0, 500.0, 1_500.0]
+
+
+def run_sweep():
+    results = {}
+    for cluster_mb in CLUSTER_SIZES_MB:
+        record = run_better_source_scenario(cluster_mb)
+        results[cluster_mb] = record
+    return results
+
+
+def test_x4_cluster_size_sweep(benchmark, show):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    playback_s = SWITCHING_TITLE.duration_s
+    durations = {
+        c: r.completed_at - r.request.submitted_at for c, r in results.items()
+    }
+
+    # The paper's claim, made precise: the cluster size bounds the
+    # congestion damage.  At worst, the remainder of the in-flight
+    # cluster crawls at the floor rate before the next VRA decision can
+    # switch away, so the excess over pure playback time is bounded by
+    # one cluster's worth of floor-rate transfer.
+    from repro.core.session import MIN_TRANSFER_MBPS
+
+    for cluster_mb in CLUSTER_SIZES_MB:
+        excess = durations[cluster_mb] - playback_s
+        bound = cluster_mb * 8.0 / MIN_TRANSFER_MBPS + 2 * 60.0
+        assert -1e-6 <= excess <= bound, (cluster_mb, excess, bound)
+
+    # The single-cluster session cannot switch at all and pays the full
+    # crawl...
+    whole = results[1_500.0]
+    assert whole.switch_count == 0
+    assert whole.servers_used == ["U4"]
+    assert durations[1_500.0] > 10 * durations[25.0]
+    # ...while every multi-cluster session escapes to the Athens copy.
+    for cluster_mb in (25.0, 100.0, 250.0):
+        assert results[cluster_mb].switch_count >= 1
+        assert "U1" in results[cluster_mb].servers_used
+
+    # Small clusters keep the download at playback speed (zero stall);
+    # the whole-video transfer cannot start playback until every byte
+    # arrived over the crawling route (56 h of startup delay).
+    assert results[25.0].stall_s == pytest.approx(0.0, abs=1.0)
+    assert whole.startup_delay_s > 10 * 3_600.0
+
+    lines = [
+        "X4 cluster-size sweep (1500 MB title, route poisoned at t+20 min):",
+        f"  {'c (MB)':>8} {'clusters':>8} {'VRA runs':>8} {'switches':>8} "
+        f"{'download (h)':>12} {'stall (min)':>11}",
+    ]
+    for cluster_mb in CLUSTER_SIZES_MB:
+        record = results[cluster_mb]
+        lines.append(
+            f"  {cluster_mb:8.0f} {len(record.clusters):8d} "
+            f"{len(record.clusters):8d} {record.switch_count:8d} "
+            f"{durations[cluster_mb] / 3600.0:12.2f} "
+            f"{record.stall_s / 60.0:11.1f}"
+        )
+    show("\n".join(lines))
+
+
+def test_x4_decision_overhead_scales_inversely_with_c(benchmark, show):
+    """The cost of fine granularity: VRA decisions per session = p."""
+    records = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    for cluster_mb, record in records.items():
+        expected_clusters = -(-SWITCHING_TITLE.size_mb // cluster_mb)
+        assert len(record.clusters) == int(expected_clusters)
+    show(
+        "X4: decisions per session "
+        + ", ".join(
+            f"c={c:.0f} -> {len(records[c].clusters)}" for c in CLUSTER_SIZES_MB
+        )
+    )

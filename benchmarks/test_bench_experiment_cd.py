@@ -1,0 +1,55 @@
+"""EC/ED — Experiments C and D: 4pm and 6pm requests from Athens with the
+title at Ioannina, Thessaloniki and Xanthi.
+
+The paper reports, for each experiment, the best path and cost to each of
+the three candidate servers and the decision (Ioannina via U1,U2,U3 both
+times).  This bench regenerates all six candidate rows and both decisions.
+"""
+
+import pytest
+
+from repro.experiments.casestudy import run_all_experiments, run_experiment
+from repro.experiments.report import render_experiment
+
+PAPER_ROWS = {
+    "C": {
+        "U4": (("U1", "U4"), 1.5433),
+        "U5": (("U1", "U6", "U5"), 1.274),
+        "U3": (("U1", "U2", "U3"), 1.222),
+    },
+    "D": {
+        "U4": (("U1", "U4"), 1.4824),
+        "U5": (("U1", "U6", "U5"), 1.3574),
+        "U3": (("U1", "U2", "U3"), 1.236),
+    },
+}
+
+
+@pytest.mark.parametrize("exp_id", ["C", "D"])
+def test_experiment_cd(benchmark, show, exp_id):
+    outcome = benchmark(run_experiment, exp_id)
+
+    for candidate, (path, cost) in PAPER_ROWS[exp_id].items():
+        assert outcome.candidate_paths[candidate] == path, candidate
+        assert outcome.candidate_costs[candidate] == pytest.approx(cost, abs=3e-3), candidate
+
+    assert outcome.chosen_uid == "U3"
+    assert outcome.decision.path.nodes == ("U1", "U2", "U3")
+    assert outcome.matches_printed and outcome.matches_corrected
+    show(render_experiment(outcome))
+
+
+def test_all_four_decisions_summary(benchmark, show):
+    outcomes = benchmark(run_all_experiments, False)
+    decisions = {eid: o.chosen_uid for eid, o in outcomes.items()}
+    # B, C, D match the paper; A is corrected (DESIGN.md §5 erratum 1).
+    assert decisions == {"A": "U4", "B": "U4", "C": "U3", "D": "U3"}
+    printed = {eid: o.expectation.printed_chosen for eid, o in outcomes.items()}
+    assert printed == {"A": "U5", "B": "U4", "C": "U3", "D": "U3"}
+    show(
+        "Decisions — ours: "
+        + ", ".join(f"{e}:{d}" for e, d in sorted(decisions.items()))
+        + " | paper printed: "
+        + ", ".join(f"{e}:{d}" for e, d in sorted(printed.items()))
+        + " (A corrected per erratum)"
+    )

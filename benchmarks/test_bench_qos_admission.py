@@ -1,0 +1,104 @@
+"""X7 — strict QoS admission (future work #1: "improving the QoS
+standards that we have imposed onto the network").
+
+The paper's service admits every request and degrades below the playback
+rate when links are congested; the strict-admission extension instead
+blocks requests no candidate path can sustain.  The bench loads GRNET
+towards saturation with a rising request rate and regenerates the classic
+trade-off curve: degraded-delivery fraction (paper behaviour) vs blocking
+probability (strict admission) — admitted sessions under strict admission
+stay (almost) violation-free.
+"""
+
+import pytest
+
+from repro.core.service import ServiceConfig, VoDService
+from repro.network.grnet import apply_traffic_sample, build_grnet_topology
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.storage.video import VideoTitle
+from repro.workload.arrivals import PoissonArrivals
+
+MOVIE = VideoTitle("m", size_mb=450.0, duration_s=3600.0)  # 1 Mbps
+
+
+def run_day(strict: bool, requests_per_hour: float, seed: int = 5):
+    sim = Simulator(start_time=8 * 3600.0)
+    topology = build_grnet_topology()
+    apply_traffic_sample(topology, "8am")
+    service = VoDService(
+        sim,
+        topology,
+        ServiceConfig(
+            cluster_mb=150.0,
+            max_streams=64,
+            use_reported_stats=False,
+            strict_qos_admission=strict,
+            pin_seeded_titles=True,
+        ),
+    )
+    service.seed_title("U4", MOVIE)
+    rngs = RngRegistry(seed)
+    homes = ["U1", "U2", "U3", "U5", "U6"]
+    arrivals = PoissonArrivals(requests_per_hour / 3600.0, rng=rngs.stream("arrivals"))
+    picker = rngs.stream("homes")
+    for offset in arrivals.times_until(4 * 3600.0):
+        sim.schedule(
+            offset,
+            lambda home=picker.choice(homes): service.request_by_home(home, "m"),
+        )
+    sim.run(until=sim.now + 12 * 3600.0)
+
+    records = service.sessions
+    blocked = sum(
+        1
+        for r in records
+        if r.request.failure_reason and r.request.failure_reason.startswith("qos-blocked")
+    )
+    completed = [r for r in records if r.completed]
+    degraded = sum(1 for r in completed if r.qos_violation_count > 0)
+    return {
+        "requests": len(records),
+        "blocked": blocked,
+        "completed": len(completed),
+        "degraded": degraded,
+        "block_fraction": blocked / len(records) if records else 0.0,
+        "degraded_fraction": degraded / len(completed) if completed else 0.0,
+    }
+
+
+@pytest.mark.parametrize("rate_per_hour", [4.0, 10.0, 20.0])
+def test_x7_admission_tradeoff(benchmark, show, rate_per_hour):
+    def run_pair():
+        return run_day(False, rate_per_hour), run_day(True, rate_per_hour)
+
+    paper, strict = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+
+    # Paper behaviour never blocks; strict behaviour keeps admitted
+    # sessions (nearly) clean.
+    assert paper["blocked"] == 0
+    assert strict["degraded_fraction"] <= paper["degraded_fraction"] + 1e-9
+    show(
+        f"X7 @{rate_per_hour:>4.0f} req/h: paper degrades "
+        f"{paper['degraded_fraction']:.0%} of {paper['completed']} sessions, "
+        f"blocks 0% | strict blocks {strict['block_fraction']:.0%} of "
+        f"{strict['requests']} requests, degrades "
+        f"{strict['degraded_fraction']:.0%} of the admitted"
+    )
+
+
+def test_x7_blocking_rises_with_load(benchmark, show):
+    def sweep():
+        return {rate: run_day(True, rate) for rate in (4.0, 10.0, 20.0)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    fractions = [results[rate]["block_fraction"] for rate in (4.0, 10.0, 20.0)]
+    assert fractions == sorted(fractions), fractions
+    assert fractions[-1] > 0.0, "saturation must produce some blocking"
+    show(
+        "X7 blocking probability vs offered load: "
+        + ", ".join(
+            f"{rate:.0f}/h -> {results[rate]['block_fraction']:.0%}"
+            for rate in (4.0, 10.0, 20.0)
+        )
+    )

@@ -1,0 +1,103 @@
+"""X6 — server-configuration factors in the validation (future work #3).
+
+"We must make clear what the role of every Server configuration factor
+(CPU speed, available RAM etc.) is to our Video service."
+
+The extension folds each server's stream-slot occupancy into its node
+validation (eq. 2 + load), steering the VRA away from busy servers
+*before* they exhaust their admission slots.
+
+The paper's own link-traffic term already spreads high-bitrate streams
+(their reservations raise the LVN), so to isolate the *server* bottleneck
+the bench uses near-zero-bitrate streams: the links never notice them,
+only the slot occupancy does.  Under eq. (2) alone every request then
+piles onto the one cheapest replica; with the load term they spread.
+"""
+
+import pytest
+
+from repro.core.service import ServiceConfig, VoDService
+from repro.network.grnet import apply_traffic_sample, build_grnet_topology
+from repro.sim.engine import Simulator
+from repro.storage.video import VideoTitle
+
+#: 10 MB over an hour: ~0.022 Mbps — invisible to 2-18 Mb links.
+TINY_STREAM = VideoTitle("m", size_mb=10.0, duration_s=3600.0)
+
+
+def make_service(use_load: bool, max_streams: int = 8) -> VoDService:
+    sim = Simulator(start_time=8 * 3600.0)
+    topology = build_grnet_topology()
+    apply_traffic_sample(topology, "8am")
+    service = VoDService(
+        sim,
+        topology,
+        ServiceConfig(
+            cluster_mb=100.0,
+            max_streams=max_streams,
+            use_reported_stats=False,
+            use_server_load_in_vra=use_load,
+        ),
+    )
+    # Replicas one hop from U5 in both directions: U4 (cost ~0.168 at 8am)
+    # and U6 (cost ~0.120, the favourite).
+    service.seed_title("U4", TINY_STREAM)
+    service.seed_title("U6", TINY_STREAM)
+    return service
+
+
+def first_sources(service: VoDService, count: int = 8):
+    """Submit ``count`` near-simultaneous requests from U5; count each
+    session's first source server while all sessions stay active."""
+    for _ in range(count):
+        service.request_by_home("U5", "m")
+        service.sim.run(until=service.sim.now + 1.0)  # sessions overlap
+    counts = {}
+    peak = {
+        uid: server.admission.active_count
+        for uid, server in service.servers.items()
+    }
+    service.sim.run(until=service.sim.now + 4 * 3600.0)
+    for record in service.sessions:
+        if record.servers_used:
+            first = record.servers_used[0]
+            counts[first] = counts.get(first, 0) + 1
+    return counts, peak
+
+
+def test_x6_load_term_spreads_streams(benchmark, show):
+    def run_pair():
+        return first_sources(make_service(False)), first_sources(make_service(True))
+
+    (without_load, _), (with_load, _) = benchmark.pedantic(
+        run_pair, rounds=1, iterations=1
+    )
+
+    # Paper behaviour: link weights never move (tiny streams), so every
+    # request goes to the one cheapest replica, U6.
+    assert without_load.get("U6", 0) == 8
+    # With the load term, occupancy feeds the weights and requests spread
+    # across both replicas well before admission exhaustion.
+    assert with_load.get("U4", 0) >= 3
+    assert with_load.get("U6", 0) >= 3
+    show(
+        f"X6: first-source split over 8 concurrent low-rate requests from "
+        f"U5 — paper eq.2: {without_load}; with server-load term: {with_load}"
+    )
+
+
+def test_x6_load_term_reduces_peak_occupancy(benchmark, show):
+    def run_pair():
+        peaks = {}
+        for use_load in (False, True):
+            _, peak = first_sources(make_service(use_load))
+            peaks[use_load] = max(peak.values())
+        return peaks
+
+    peaks = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert peaks[False] == 8  # the favourite absorbs everything
+    assert peaks[True] <= 5  # spread keeps every server comfortable
+    show(
+        f"X6: peak concurrent streams at any one server: "
+        f"{peaks[False]} under eq. 2 alone, {peaks[True]} with the load term"
+    )

@@ -1,0 +1,130 @@
+"""X5 — strip-level distributed caching (the paper's future work #2).
+
+"We could have even better results if the various videos were stripped
+not on the hard disks of one server but of different servers according to
+the popularity ... the most popular technique ... will not be imposed on
+whole videos but on video strips."
+
+This bench replays the same regional Zipf workload under the whole-video
+DMA and under the strip-granular variant, holding the per-server cache
+budget constant, and sweeps the budget.  Strip caching wins whenever the
+budget leaves whole-title caching with stranded capacity (the fractional
+vs 0/1 knapsack gap), converging to the same numbers once everything fits.
+"""
+
+import pytest
+
+from repro.extensions.strip_caching import StripCachingEvaluator
+from repro.network.grnet import apply_traffic_sample, build_grnet_topology
+from repro.storage.video import VideoTitle
+from repro.workload.scenarios import regional_scenario
+
+NODES = ["U1", "U2", "U3", "U4", "U5", "U6"]
+TITLE_MB = 150.0
+
+
+def build_workload():
+    catalog = [
+        VideoTitle(f"t{i:02d}", size_mb=TITLE_MB, duration_s=3600.0) for i in range(18)
+    ]
+    origins = {v.title_id: NODES[i % len(NODES)] for i, v in enumerate(catalog)}
+    scenario = regional_scenario(
+        NODES,
+        requests_per_node=60,
+        horizon_s=8 * 3600.0,
+        zipf_exponent=1.0,
+        regional_shift=3,
+        seed=23,
+        catalog=catalog,
+    )
+    events = [(e.home_uid, e.title_id) for e in scenario.events]
+    return catalog, origins, events
+
+
+def run_granularity(granularity: str, cache_mb: float):
+    catalog, origins, events = build_workload()
+    topology = build_grnet_topology()
+    apply_traffic_sample(topology, "8am")
+    evaluator = StripCachingEvaluator(
+        topology,
+        catalog,
+        origins,
+        cluster_mb=25.0,
+        cache_capacity_mb=cache_mb,
+        granularity=granularity,
+    )
+    return evaluator.replay(events)
+
+
+def test_x5_strip_vs_title_at_awkward_budget(benchmark, show):
+    def run_pair():
+        return run_granularity("strip", 400.0), run_granularity("title", 400.0)
+
+    strip, title = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    # 400 MB holds 2.67 titles: whole-title caching strands 100 MB.
+    assert strip.byte_hit_ratio > title.byte_hit_ratio
+    assert strip.megabyte_hops < title.megabyte_hops
+    show(
+        f"X5 @400MB budget: strip hit={strip.byte_hit_ratio:.3f} "
+        f"MB-hops={strip.megabyte_hops:.0f} | whole-title "
+        f"hit={title.byte_hit_ratio:.3f} MB-hops={title.megabyte_hops:.0f} "
+        f"-> strip saves {1 - strip.megabyte_hops / title.megabyte_hops:.1%} transport"
+    )
+
+
+def test_x5_budget_sweep(benchmark, show):
+    budgets = [150.0, 250.0, 400.0, 700.0, 1_300.0]
+
+    def sweep():
+        rows = []
+        for budget in budgets:
+            strip = run_granularity("strip", budget)
+            title = run_granularity("title", budget)
+            rows.append((budget, strip, title))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "X5 budget sweep (18 x 150 MB titles, Zipf(1.0), regional shift 3):",
+        f"  {'budget MB':>9} {'strip hit':>9} {'title hit':>9} "
+        f"{'strip MBh':>10} {'title MBh':>10}",
+    ]
+    for budget, strip, title in rows:
+        # Strip caching never loses to whole-title caching at equal budget.
+        assert strip.byte_hit_ratio >= title.byte_hit_ratio - 1e-9, budget
+        lines.append(
+            f"  {budget:>9.0f} {strip.byte_hit_ratio:>9.3f} "
+            f"{title.byte_hit_ratio:>9.3f} {strip.megabyte_hops:>10.0f} "
+            f"{title.megabyte_hops:>10.0f}"
+        )
+    # Hit ratio grows with budget under both policies.
+    strip_hits = [s.byte_hit_ratio for _, s, _ in rows]
+    assert strip_hits == sorted(strip_hits)
+    show("\n".join(lines))
+
+
+def test_x5_prefix_convergence(benchmark, show):
+    """The emergent behaviour the paper hopes for: under pressure a node
+    holds *partial* popular titles instead of few whole ones."""
+
+    def run():
+        catalog, origins, events = build_workload()
+        topology = build_grnet_topology()
+        evaluator = StripCachingEvaluator(
+            topology, catalog, origins, cluster_mb=25.0,
+            cache_capacity_mb=400.0, granularity="strip",
+        )
+        evaluator.replay(events)
+        return evaluator
+
+    evaluator = benchmark.pedantic(run, rounds=1, iterations=1)
+    catalog, _, _ = build_workload()
+    partials = 0
+    for node in NODES:
+        for video in catalog:
+            held = evaluator.resident_strip_count(node, video.title_id)
+            total = int(TITLE_MB // 25.0)
+            if 0 < held < total:
+                partials += 1
+    assert partials > 0, "expected at least one partially cached title"
+    show(f"X5: {partials} (node, title) pairs hold a partial copy — capacity never stranded")

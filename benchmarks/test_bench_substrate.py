@@ -1,0 +1,97 @@
+"""M1 — substrate micro-benchmarks.
+
+Not paper artefacts: these keep the foundational layers honest, since every
+experiment's wall-clock rests on them.  Regressions here inflate every
+other benchmark, so the suite pins rough throughput floors.
+"""
+
+import pytest
+
+from repro.core.lvn import weight_table
+from repro.network.grnet import apply_traffic_sample, build_grnet_topology
+from repro.network.routing.dijkstra import dijkstra
+from repro.sim.engine import Simulator
+from repro.sim.process import Delay, Process
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule-and-fire throughput of the event heap."""
+
+    def run_events():
+        sim = Simulator()
+        count = {"n": 0}
+
+        def tick():
+            count["n"] += 1
+
+        for i in range(20_000):
+            sim.schedule(float(i % 97) / 10.0, tick)
+        sim.run()
+        return count["n"]
+
+    fired = benchmark(run_events)
+    assert fired == 20_000
+
+
+def test_engine_nested_scheduling(benchmark):
+    """Self-rescheduling callbacks (the periodic-task pattern)."""
+
+    def run_chain():
+        sim = Simulator()
+        count = {"n": 0}
+
+        def tick():
+            count["n"] += 1
+            if count["n"] < 10_000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        return count["n"]
+
+    assert benchmark(run_chain) == 10_000
+
+
+def test_process_context_switch_rate(benchmark):
+    """Generator-process resume throughput."""
+
+    def run_processes():
+        sim = Simulator()
+        total = {"n": 0}
+
+        def worker():
+            for _ in range(500):
+                yield Delay(1.0)
+                total["n"] += 1
+
+        for _ in range(20):
+            Process(sim, worker())
+        sim.run()
+        return total["n"]
+
+    assert benchmark(run_processes) == 10_000
+
+
+def test_lvn_snapshot_rate(benchmark):
+    """Full weight-table snapshots per second on the GRNET backbone."""
+    topology = build_grnet_topology()
+    apply_traffic_sample(topology, "4pm")
+
+    def hundred_snapshots():
+        for _ in range(100):
+            weight_table(topology)
+
+    benchmark(hundred_snapshots)
+
+
+def test_dijkstra_rate(benchmark):
+    """Shortest-path-tree computations per second on GRNET."""
+    topology = build_grnet_topology()
+    apply_traffic_sample(topology, "4pm")
+    weights = weight_table(topology)
+
+    def hundred_trees():
+        for _ in range(100):
+            dijkstra(topology, "U1", lambda l: weights[l.name])
+
+    benchmark(hundred_trees)

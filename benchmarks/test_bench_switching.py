@@ -1,0 +1,101 @@
+"""X1 — dynamic mid-stream switching ablation.
+
+The paper: "If the optimal server changes due to the change of certain
+network features during the downloading of a certain cluster, then the
+next cluster will be requested by the new optimal server."  This bench
+runs the deterministic better-source-appears scenario (see _helpers) with
+three switching cadences:
+
+* ``always``   — the paper's per-cluster re-decision;
+* ``period:4`` — re-decide every 4 clusters;
+* ``never``    — freeze the first decision (the behaviour the paper warns
+  "compromises the system's attempts to impose some kind of QoS").
+
+Per-cluster switching must escape the congested route and finish the
+download dramatically earlier with less stall time.
+"""
+
+import pytest
+
+from _helpers import SWITCHING_TITLE, run_better_source_scenario
+from repro.baselines.switching import NeverSwitch, PeriodicRecompute
+
+CLUSTER_MB = 100.0
+
+
+def run_policy(policy_key: str):
+    wrapper = {
+        "always": None,
+        "never": NeverSwitch,
+        "period:4": lambda decide: PeriodicRecompute(decide, 4),
+    }[policy_key]
+    return run_better_source_scenario(CLUSTER_MB, decide_wrapper=wrapper)
+
+
+@pytest.mark.parametrize("policy_key", ["always", "period:4", "never"])
+def test_x1_policy_runs(benchmark, show, policy_key):
+    record = benchmark.pedantic(run_policy, args=(policy_key,), rounds=1, iterations=1)
+    assert record.completed
+    duration = record.completed_at - record.request.submitted_at
+    show(
+        f"X1[{policy_key:9s}]: servers={record.servers_used} "
+        f"switches={record.switch_count} "
+        f"download={duration / 3600.0:.2f} h "
+        f"stall={record.stall_s / 60.0:.1f} min "
+        f"qos-violating clusters={record.qos_violation_count}/"
+        f"{len(record.clusters)}"
+    )
+
+
+def test_x1_switching_beats_frozen_decision(benchmark, show):
+    def run_pair():
+        return run_policy("always"), run_policy("never")
+
+    always, never = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+
+    assert always.completed and never.completed
+    # The paper's behaviour actually switches away from the poisoned route.
+    assert always.switch_count >= 1
+    assert set(always.servers_used) == {"U4", "U1"}
+    # The frozen decision rides the congested route to the end.
+    assert never.switch_count == 0
+    assert never.servers_used == ["U4"]
+
+    always_time = always.completed_at - always.request.submitted_at
+    never_time = never.completed_at - never.request.submitted_at
+    assert always_time < never_time / 2.0, (always_time, never_time)
+    assert always.stall_s < never.stall_s
+    assert always.qos_violation_count < never.qos_violation_count
+    show(
+        f"X1: per-cluster VRA finishes in {always_time / 3600.0:.2f} h with "
+        f"{always.stall_s / 60.0:.1f} min stall; frozen decision needs "
+        f"{never_time / 3600.0:.2f} h with {never.stall_s / 60.0:.1f} min "
+        f"stall ({never_time / always_time:.1f}x slower)."
+    )
+
+
+def test_x1_recompute_period_monotonicity(benchmark, show):
+    """Coarser re-decision periods react later: download time is
+    non-decreasing in the recompute period."""
+
+    def run_periods():
+        results = {}
+        for period in (1, 2, 8, 32):
+            record = run_better_source_scenario(
+                CLUSTER_MB,
+                decide_wrapper=(
+                    None
+                    if period == 1
+                    else (lambda decide, p=period: PeriodicRecompute(decide, p))
+                ),
+            )
+            results[period] = record.completed_at - record.request.submitted_at
+        return results
+
+    durations = benchmark.pedantic(run_periods, rounds=1, iterations=1)
+    ordered = [durations[p] for p in (1, 2, 8, 32)]
+    assert all(a <= b + 1e-6 for a, b in zip(ordered, ordered[1:])), durations
+    show(
+        "X1 recompute-period sweep (download hours): "
+        + ", ".join(f"every {p} clusters = {durations[p] / 3600.0:.2f}" for p in (1, 2, 8, 32))
+    )

@@ -1,0 +1,165 @@
+"""Cache-policy baselines for the DMA comparison (DESIGN.md X2).
+
+Each policy exposes the DMA's surface — ``on_request(video) -> DmaResult``
+and ``seed(video)`` — over the same :class:`~repro.storage.array.DiskArray`,
+so :meth:`repro.server.video_server.VideoServer.set_cache_policy` can swap
+them in.
+
+* :class:`NoCachePolicy` — never stores anything beyond its seeds: the
+  lower bound, a pure "origin servers only" deployment;
+* :class:`LruCachePolicy` — store on every request, evict least-recently-
+  used titles until the newcomer fits (classic proxy-cache behaviour the
+  paper explicitly contrasts with: "not ... any video title downloaded by
+  any user ..., as is the concept of a proxy server");
+* :class:`FullReplicationPolicy` — store everywhere while space lasts,
+  never evict: the storage-unconstrained upper bound.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.dma import DmaAction, DmaResult
+from repro.storage.array import DiskArray
+from repro.storage.cache import PopularityTracker
+from repro.storage.video import VideoTitle
+
+StoreHook = Optional[Callable[[str], None]]
+
+
+class _BaseCachePolicy:
+    """Common plumbing: array access, callbacks, request counting."""
+
+    def __init__(self, array: DiskArray, on_store: StoreHook = None, on_evict: StoreHook = None):
+        self.array = array
+        self.tracker = PopularityTracker()  # kept for points introspection
+        self._on_store = on_store
+        self._on_evict = on_evict
+        self.pass_count = 0
+        #: Title ids exempt from eviction (seed-pinning extension; same
+        #: contract as DiskManipulationAlgorithm.pinned).
+        self.pinned = set()
+
+    def seed(self, video: VideoTitle) -> None:
+        """Initialisation-phase load, identical across policies."""
+        self.array.store(video)
+        self.tracker.track(video.title_id)
+        if self._on_store is not None:
+            self._on_store(video.title_id)
+
+    def cached_title_ids(self) -> List[str]:
+        """Ids currently cached, sorted."""
+        return self.array.stored_title_ids()
+
+    def points_of(self, title_id: str) -> int:
+        """Request count seen for a title."""
+        return self.tracker.points_of(title_id)
+
+    def _store(self, video: VideoTitle) -> None:
+        self.array.store(video)
+        self.tracker.track(video.title_id)
+        if self._on_store is not None:
+            self._on_store(video.title_id)
+
+    def _evict(self, title_id: str) -> None:
+        self.array.remove(title_id)
+        if self._on_evict is not None:
+            self._on_evict(title_id)
+
+
+class NoCachePolicy(_BaseCachePolicy):
+    """Never caches on demand; only seeded titles are ever resident."""
+
+    def on_request(self, video: VideoTitle) -> DmaResult:
+        """Count the request; store nothing."""
+        self.pass_count += 1
+        points = self.tracker.give_point(video.title_id)
+        if self.array.has_video(video.title_id):
+            return DmaResult(
+                title_id=video.title_id, action=DmaAction.HIT, points=points, cached=True
+            )
+        return DmaResult(
+            title_id=video.title_id, action=DmaAction.POINT_ONLY, points=points, cached=False
+        )
+
+
+class LruCachePolicy(_BaseCachePolicy):
+    """Proxy-style cache: admit everything, evict least recently used."""
+
+    def __init__(self, array: DiskArray, on_store: StoreHook = None, on_evict: StoreHook = None):
+        super().__init__(array, on_store, on_evict)
+        self._recency: List[str] = []  # least recent first
+
+    def seed(self, video: VideoTitle) -> None:
+        super().seed(video)
+        self._touch(video.title_id)
+
+    def on_request(self, video: VideoTitle) -> DmaResult:
+        """Admit the title, evicting LRU victims until it fits."""
+        self.pass_count += 1
+        points = self.tracker.give_point(video.title_id)
+        if self.array.has_video(video.title_id):
+            self._touch(video.title_id)
+            return DmaResult(
+                title_id=video.title_id, action=DmaAction.HIT, points=points, cached=True
+            )
+        evicted: List[str] = []
+        while not self.array.can_store(video):
+            victim = self._least_recent()
+            if victim is None:
+                break
+            self._evict(victim)
+            self._recency.remove(victim)
+            evicted.append(victim)
+        if self.array.can_store(video):
+            self._store(video)
+            self._touch(video.title_id)
+            action = DmaAction.REPLACED if evicted else DmaAction.STORED
+            return DmaResult(
+                title_id=video.title_id,
+                action=action,
+                points=points,
+                evicted=tuple(evicted),
+                cached=True,
+            )
+        # The title is larger than the whole array: nothing fits it.
+        action = DmaAction.EVICTED_NOT_STORED if evicted else DmaAction.POINT_ONLY
+        return DmaResult(
+            title_id=video.title_id,
+            action=action,
+            points=points,
+            evicted=tuple(evicted),
+            cached=False,
+        )
+
+    def _touch(self, title_id: str) -> None:
+        if title_id in self._recency:
+            self._recency.remove(title_id)
+        self._recency.append(title_id)
+
+    def _least_recent(self) -> Optional[str]:
+        for title_id in self._recency:
+            if self.array.has_video(title_id) and title_id not in self.pinned:
+                return title_id
+        return None
+
+
+class FullReplicationPolicy(_BaseCachePolicy):
+    """Store every requested title while space lasts; never evict."""
+
+    def on_request(self, video: VideoTitle) -> DmaResult:
+        """Admit if it fits; otherwise just count the request."""
+        self.pass_count += 1
+        points = self.tracker.give_point(video.title_id)
+        if self.array.has_video(video.title_id):
+            return DmaResult(
+                title_id=video.title_id, action=DmaAction.HIT, points=points, cached=True
+            )
+        if self.array.can_store(video):
+            self._store(video)
+            return DmaResult(
+                title_id=video.title_id, action=DmaAction.STORED, points=points, cached=True
+            )
+        return DmaResult(
+            title_id=video.title_id, action=DmaAction.POINT_ONLY, points=points, cached=False
+        )

@@ -1,0 +1,281 @@
+"""Command-line interface.
+
+Exposes the reproduction's main entry points without writing Python::
+
+    python -m repro case-study                 # Tables 2-5 + Experiments A-D
+    python -m repro experiment A               # one experiment, full trace
+    python -m repro lvn --time 4pm             # the LVN weight table
+    python -m repro simulate --cache dma ...   # a service-level workload run
+    python -m repro sweep-cluster-size         # the X4 ablation summary
+
+Every subcommand prints plain text to stdout and exits 0 on success; bad
+arguments exit 2 (argparse) and reproduction mismatches exit 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.service import ServiceConfig
+from repro.experiments.casestudy import (
+    EXPERIMENTS,
+    compute_table3_lvn,
+    run_all_experiments,
+    run_experiment,
+)
+from repro.experiments.harness import ServiceExperiment, run_service_experiment
+from repro.experiments.report import (
+    render_experiment,
+    render_table,
+    render_table2,
+    render_table3,
+)
+from repro.network.grnet import GRNET_NODES, SAMPLE_TIMES
+from repro.workload.scenarios import regional_scenario
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Dynamic Distributed Video on Demand "
+            "Service' (Bouras et al., ICDCS 2000)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser(
+        "case-study",
+        help="print Tables 2-5 and Experiments A-D next to the paper's values",
+    )
+
+    experiment = commands.add_parser(
+        "experiment", help="run one case-study experiment with its Dijkstra trace"
+    )
+    experiment.add_argument("exp_id", choices=sorted(EXPERIMENTS), metavar="{A,B,C,D}")
+
+    lvn = commands.add_parser("lvn", help="print the LVN weight table (Table 3 column)")
+    lvn.add_argument("--time", choices=SAMPLE_TIMES, default="8am")
+    lvn.add_argument(
+        "--normalization-constant",
+        type=float,
+        default=10.0,
+        help="the K of equation (4); the paper suggests 10",
+    )
+
+    simulate = commands.add_parser(
+        "simulate", help="run a service-level workload on GRNET and print metrics"
+    )
+    simulate.add_argument("--cache", default="dma",
+                          choices=["dma", "dma-greedy", "nocache", "lru", "fullrep"])
+    simulate.add_argument("--selection", default="vra",
+                          choices=["vra", "random", "minhop", "static"])
+    simulate.add_argument("--switching", default="always",
+                          help="'always', 'never' or 'period:<n>'")
+    simulate.add_argument("--catalog-size", type=int, default=18)
+    simulate.add_argument("--title-mb", type=float, default=150.0,
+                          help="uniform title size; keep below the per-server cache")
+    simulate.add_argument("--title-minutes", type=float, default=60.0)
+    simulate.add_argument("--requests-per-node", type=int, default=30)
+    simulate.add_argument("--zipf", type=float, default=1.0)
+    simulate.add_argument("--cluster-mb", type=float, default=50.0)
+    simulate.add_argument("--disk-capacity-mb", type=float, default=250.0)
+    simulate.add_argument("--disk-count", type=int, default=3)
+    simulate.add_argument("--seed", type=int, default=23)
+    simulate.add_argument("--replay-table2", action="store_true",
+                          help="morph background traffic through the Table 2 day")
+    simulate.add_argument("--topology", metavar="FILE", default=None,
+                          help="JSON topology (see 'repro export-grnet'); "
+                               "defaults to the paper's GRNET backbone")
+    simulate.add_argument("--report", action="store_true",
+                          help="print per-server/link/title analysis after the run")
+
+    commands.add_parser(
+        "sweep-cluster-size",
+        help="the X4 ablation: switching granularity vs congestion damage",
+    )
+
+    export = commands.add_parser(
+        "export-grnet",
+        help="write the paper's GRNET topology to a JSON file as a template",
+    )
+    export.add_argument("path", metavar="FILE")
+    export.add_argument("--time", choices=SAMPLE_TIMES, default=None,
+                        help="also bake in one Table 2 traffic column")
+    return parser
+
+
+def _cmd_case_study() -> int:
+    print(render_table2())
+    print()
+    print(render_table3())
+    outcomes = run_all_experiments()
+    for outcome in outcomes.values():
+        print()
+        print("=" * 72)
+        print(render_experiment(outcome))
+    mismatches = [o for o in outcomes.values() if not o.matches_corrected]
+    return 1 if mismatches else 0
+
+
+def _cmd_experiment(exp_id: str) -> int:
+    outcome = run_experiment(exp_id)
+    print(render_experiment(outcome))
+    return 0 if outcome.matches_corrected else 1
+
+
+def _cmd_lvn(time_label: str, k: float) -> int:
+    table = compute_table3_lvn(normalization_constant=k)
+    rows = [
+        [link_name, f"{values[time_label]:.6f}"]
+        for link_name, values in table.items()
+    ]
+    print(
+        render_table(
+            ["Link", f"LVN @{time_label} (K={k:g})"],
+            rows,
+            title="Link Validation Numbers (equations 1-4)",
+        )
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.storage.video import VideoTitle
+
+    topology_factory = None
+    if args.topology is not None:
+        from repro.io import load_topology
+
+        custom = load_topology(args.topology)
+        custom.validate()
+        nodes = custom.node_uids()
+
+        def topology_factory():
+            return load_topology(args.topology)
+
+    else:
+        nodes = list(GRNET_NODES)
+    catalog = [
+        VideoTitle(
+            f"title-{i:03d}",
+            size_mb=args.title_mb,
+            duration_s=args.title_minutes * 60.0,
+        )
+        for i in range(1, args.catalog_size + 1)
+    ]
+    scenario = regional_scenario(
+        nodes,
+        requests_per_node=args.requests_per_node,
+        zipf_exponent=args.zipf,
+        seed=args.seed,
+        catalog=catalog,
+    )
+    experiment = ServiceExperiment(
+        name="cli",
+        scenario=scenario,
+        config=ServiceConfig(
+            cluster_mb=args.cluster_mb,
+            disk_count=args.disk_count,
+            disk_capacity_mb=args.disk_capacity_mb,
+            max_streams=64,
+            use_reported_stats=False,
+        ),
+        cache=args.cache,
+        selection=args.selection,
+        switching=args.switching,
+        replay_table2=args.replay_table2,
+        start_time=8 * 3600.0 if args.replay_table2 else 0.0,
+        seed=args.seed,
+    )
+    if topology_factory is not None:
+        experiment.topology_factory = topology_factory
+    result = run_service_experiment(experiment)
+    metrics = result.metrics
+    print(f"sessions ............. {metrics.session_count}")
+    print(f"completed ............ {metrics.completed_count}")
+    print(f"failed ............... {metrics.failed_count}")
+    print(f"local serve fraction . {metrics.local_serve_fraction:.3f}")
+    print(f"mean startup ......... {metrics.mean_startup_s:.1f} s")
+    print(f"p95 startup .......... {metrics.p95_startup_s:.1f} s")
+    print(f"mean stall ........... {metrics.mean_stall_s:.1f} s")
+    print(f"server switches ...... {metrics.total_switches}")
+    print(f"QoS violations ....... {metrics.qos_violation_fraction:.3f}")
+    print(f"transport cost ....... {metrics.megabyte_hops:.0f} MB-hops")
+    if args.report:
+        from repro.metrics.analysis import analyze_sessions, render_analysis
+
+        print()
+        print(render_analysis(analyze_sessions(result.service.sessions)))
+    return 0
+
+
+def _cmd_export_grnet(path: str, time_label: Optional[str]) -> int:
+    from repro.io import save_topology
+    from repro.network.grnet import apply_traffic_sample, build_grnet_topology
+
+    topology = build_grnet_topology()
+    if time_label is not None:
+        apply_traffic_sample(topology, time_label)
+    save_topology(topology, path)
+    print(f"wrote {topology.node_count} nodes / {topology.link_count} links to {path}")
+    return 0
+
+
+def _cmd_sweep_cluster_size() -> int:
+    # Imported lazily: the helper lives with the benchmarks' scenario code.
+    from repro.core.session import MIN_TRANSFER_MBPS
+    from repro.experiments.sweeps import better_source_sweep
+
+    rows = []
+    for cluster_mb, record in better_source_sweep():
+        duration_h = (record.completed_at - record.request.submitted_at) / 3600.0
+        rows.append(
+            [
+                f"{cluster_mb:.0f}",
+                str(len(record.clusters)),
+                str(record.switch_count),
+                f"{duration_h:.2f}",
+                f"{record.stall_s / 60.0:.1f}",
+            ]
+        )
+    print(
+        render_table(
+            ["c (MB)", "clusters", "switches", "download (h)", "stall (min)"],
+            rows,
+            title=(
+                "Cluster-size sweep: 1.5 GB title, route congests at "
+                f"t+20 min (floor rate {MIN_TRANSFER_MBPS} Mbps)"
+            ),
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "case-study":
+            return _cmd_case_study()
+        if args.command == "experiment":
+            return _cmd_experiment(args.exp_id)
+        if args.command == "lvn":
+            return _cmd_lvn(args.time, args.normalization_constant)
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        if args.command == "sweep-cluster-size":
+            return _cmd_sweep_cluster_size()
+        if args.command == "export-grnet":
+            return _cmd_export_grnet(args.path, args.time)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Client layer: clients attached to a home server and their requests."""
+
+from repro.client.client import Client
+from repro.client.requests import RequestStatus, VideoRequest
+
+__all__ = ["Client", "RequestStatus", "VideoRequest"]

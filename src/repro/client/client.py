@@ -1,0 +1,59 @@
+"""Client model.
+
+The paper resolves the requesting user's IP address to "the server to whom
+the requesting user is directly connected (referred to as home server)".
+We model the address book directly: a :class:`Client` carries an address
+whose prefix maps to its home server, and :meth:`resolve_home` performs the
+paper's IP-to-home-server step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ServiceError
+
+
+@dataclass(frozen=True)
+class Client:
+    """A service user attached to one access network.
+
+    Attributes:
+        client_id: Unique identifier (also used as RNG stream names).
+        address: Dotted address; the first three octets identify the access
+            network, i.e. the home server's subnet.
+    """
+
+    client_id: str
+    address: str
+
+    def __post_init__(self) -> None:
+        if not self.client_id:
+            raise ServiceError("client_id must be non-empty")
+        if self.address.count(".") != 3:
+            raise ServiceError(
+                f"client address must be dotted-quad, got {self.address!r}"
+            )
+
+    @property
+    def subnet(self) -> str:
+        """The /24 prefix used for home-server resolution."""
+        return self.address.rsplit(".", 1)[0]
+
+    def resolve_home(self, subnet_map: Dict[str, str]) -> str:
+        """Map this client's subnet to its home server uid.
+
+        Args:
+            subnet_map: /24 prefix -> server uid, built at initialisation.
+
+        Raises:
+            ServiceError: If the subnet is not served by any video server.
+        """
+        try:
+            return subnet_map[self.subnet]
+        except KeyError:
+            raise ServiceError(
+                f"client {self.client_id!r} at {self.address} belongs to no "
+                "registered access network"
+            ) from None

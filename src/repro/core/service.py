@@ -1,0 +1,576 @@
+"""The VoD service facade.
+
+:class:`VoDService` wires every subsystem together the way the paper's
+architecture section describes:
+
+* a :class:`~repro.database.store.ServiceDatabase` with full- and
+  limited-access modules;
+* one :class:`~repro.server.video_server.VideoServer` per network node;
+* the per-node SNMP statistics modules feeding the limited-access database
+  (:class:`~repro.snmp.collector.StatisticsService`);
+* the :class:`~repro.core.vra.VirtualRoutingAlgorithm` reading link state
+  from the database (staleness included), and
+* :class:`~repro.core.session.StreamingSession` processes that re-run the
+  VRA per cluster and switch servers dynamically.
+
+The *service initialization* phase of the paper (administrators contribute
+link bandwidths and per-server title lists) maps to the constructor plus
+:meth:`seed_title` / :meth:`attach_access_network` calls before
+:meth:`start`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.client.client import Client
+from repro.client.requests import VideoRequest
+from repro.core.lvn import DEFAULT_NORMALIZATION_CONSTANT
+from repro.core.session import (
+    DEFAULT_LOCAL_READ_MBPS,
+    DEFAULT_RATE_UPDATE_PERIOD_S,
+    SessionRecord,
+    StreamingSession,
+)
+from repro.core.vra import VirtualRoutingAlgorithm, VraDecision
+from repro.database.records import LinkEntry, ServerEntry
+from repro.database.store import ServiceDatabase
+from repro.errors import ReproError, ServiceError
+from repro.network.flows import FlowManager
+from repro.network.link import Link
+from repro.network.node import Node
+from repro.network.topology import Topology
+from repro.server.video_server import VideoServer
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+from repro.sim.trace import Tracer
+from repro.snmp.collector import DEFAULT_POLL_PERIOD_S, StatisticsService
+from repro.storage.video import VideoTitle
+
+
+@dataclass
+class ServiceConfig:
+    """Deployment knobs of the VoD service.
+
+    Attributes:
+        cluster_mb: Common striping cluster size ``c`` (MB); also the
+            dynamic-switching granularity.
+        disk_count: Disks per server ("as many disks as possible").
+        disk_capacity_mb: Capacity of each disk (MB).
+        max_streams: Concurrent outgoing streams per server.
+        snmp_period_s: Statistics-module period (paper: 1-2 minutes).
+        normalization_constant: The K of equation (4).
+        local_read_mbps: Disk read rate for home-server serves.
+        use_reported_stats: When True (paper-faithful) the VRA reads link
+            usage from the limited-access database, i.e. the latest SNMP
+            sample; when False it reads live ground truth from the links.
+        use_server_load_in_vra: Future-work extension ("Server
+            configuration factor"): fold each server's stream-slot
+            occupancy into its node validation, steering the VRA away
+            from busy servers.  Default off = the paper's exact eq. (2).
+        strict_qos_admission: Future-work extension ("improving the QoS
+            standards"): reject a request outright when no candidate
+            path can sustain the title's playback rate, instead of
+            admitting it at a degraded rate.  Blocked requests fail with
+            a ``qos-blocked:`` reason.  Default off = paper behaviour.
+        evict_until_fits: DMA extension (DESIGN.md X2); default off.
+        pin_seeded_titles: Seed-pinning extension: initialisation-phase
+            titles are exempt from cache eviction so the DMA can never
+            delete a title's last network-wide copy.  Default True — a
+            deployable service needs it; set False for exact Figure 2
+            behaviour (the hazard is pinned by a failure-injection test).
+        vra_trace: Record paper-style Dijkstra step tables per decision.
+    """
+
+    cluster_mb: float = 64.0
+    disk_count: int = 4
+    disk_capacity_mb: float = 20_000.0
+    max_streams: int = 32
+    snmp_period_s: float = DEFAULT_POLL_PERIOD_S
+    normalization_constant: float = DEFAULT_NORMALIZATION_CONSTANT
+    local_read_mbps: float = DEFAULT_LOCAL_READ_MBPS
+    rate_update_period_s: float = DEFAULT_RATE_UPDATE_PERIOD_S
+    use_reported_stats: bool = True
+    use_server_load_in_vra: bool = False
+    strict_qos_admission: bool = False
+    evict_until_fits: bool = False
+    pin_seeded_titles: bool = True
+    vra_trace: bool = False
+    #: Per-node hardware overrides ("we propose the use of as many disks
+    #: as possible" — sites differ): node uid -> subset of
+    #: {disk_count, disk_capacity_mb, max_streams}.  Unlisted nodes use
+    #: the uniform values above.
+    server_overrides: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+
+class VoDService:
+    """The distributed VoD service over one topology."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        config: Optional[ServiceConfig] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        topology.validate()
+        self.sim = sim
+        self.topology = topology
+        self.config = config if config is not None else ServiceConfig()
+        #: Structured event trace (disabled by default); categories:
+        #: request.submitted / request.blocked, vra.decision, dma.pass,
+        #: session.finished, service.expanded.
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.database = ServiceDatabase()
+        self.flows = FlowManager(topology)
+        self._subnet_map: Dict[str, str] = {}
+        self._clients: Dict[str, Client] = {}
+        self.sessions: List[SessionRecord] = []
+
+        # Overrides may name nodes that do not exist *yet*: they apply
+        # when that node joins via add_server (runtime expansion).
+        self.servers: Dict[str, VideoServer] = {}
+        for node in topology.nodes():
+            hardware = self._server_hardware(node.uid)
+            server = VideoServer(
+                node_uid=node.uid,
+                database=self.database,
+                disk_count=hardware["disk_count"],
+                disk_capacity_mb=hardware["disk_capacity_mb"],
+                cluster_mb=self.config.cluster_mb,
+                max_streams=hardware["max_streams"],
+                evict_until_fits=self.config.evict_until_fits,
+                pin_seeded=self.config.pin_seeded_titles,
+            )
+            self.servers[node.uid] = server
+            self.database.register_server(
+                ServerEntry(
+                    server_uid=node.uid,
+                    disk_count=hardware["disk_count"],
+                    disk_capacity_mb=hardware["disk_capacity_mb"],
+                    cache_capacity_mb=hardware["disk_count"] * hardware["disk_capacity_mb"],
+                    max_streams=hardware["max_streams"],
+                )
+            )
+        for link in topology.links():
+            self.database.register_link(
+                LinkEntry(
+                    link_name=link.name,
+                    endpoints=link.endpoints,
+                    total_bandwidth_mbps=link.capacity_mbps,
+                )
+            )
+
+        self.statistics = StatisticsService(
+            sim,
+            topology,
+            self.database.limited_access(),
+            period_s=self.config.snmp_period_s,
+        )
+        self.vra = VirtualRoutingAlgorithm(
+            topology,
+            used_of=self._reported_used if self.config.use_reported_stats else None,
+            normalization_constant=self.config.normalization_constant,
+            node_load=self._server_load if self.config.use_server_load_in_vra else None,
+            trace=self.config.vra_trace,
+        )
+        self._started = False
+        #: Optional per-session wrapper around the decide function, used by
+        #: the switching baselines (e.g. ``NeverSwitch``): called once per
+        #: session with the fresh decide closure, returns the one to use.
+        self.decide_wrapper: Optional[Callable[[Callable[[], VraDecision]], Callable[[], VraDecision]]] = None
+
+    # ------------------------------------------------------------------ #
+    # initialisation phase
+    # ------------------------------------------------------------------ #
+    def attach_access_network(self, subnet: str, server_uid: str) -> None:
+        """Declare that clients in ``subnet`` are adjacent to a server.
+
+        Raises:
+            ServiceError: If the server uid is unknown or the subnet is
+                already attached elsewhere.
+        """
+        if server_uid not in self.servers:
+            raise ServiceError(f"unknown server {server_uid!r}")
+        existing = self._subnet_map.get(subnet)
+        if existing is not None and existing != server_uid:
+            raise ServiceError(
+                f"subnet {subnet!r} is already attached to {existing!r}"
+            )
+        self._subnet_map[subnet] = server_uid
+
+    def register_client(self, client: Client) -> str:
+        """Register a client and resolve its home server from its address.
+
+        Returns:
+            The client's home server uid.
+        """
+        home_uid = client.resolve_home(self._subnet_map)
+        self._clients[client.client_id] = client
+        return home_uid
+
+    def seed_title(self, server_uid: str, video: VideoTitle) -> None:
+        """Initialisation-phase title load on one server.
+
+        Raises:
+            ServiceError: If the server uid is unknown.
+        """
+        server = self.servers.get(server_uid)
+        if server is None:
+            raise ServiceError(f"unknown server {server_uid!r}")
+        server.seed_title(video)
+
+    def start(self) -> None:
+        """Begin periodic SNMP collection (call after initialisation)."""
+        if not self._started:
+            self.statistics.start()
+            self._started = True
+
+    # ------------------------------------------------------------------ #
+    # runtime expansion (the paper: "New nodes can easily be connected to
+    # the network and the only thing that has to be changed is [the]
+    # corresponding database entries")
+    # ------------------------------------------------------------------ #
+    def add_server(self, node: "Node", links: List[Link]) -> VideoServer:
+        """Attach a new video-server node to the running service.
+
+        Grows the topology, registers the database entries, spins up the
+        node's video server and SNMP statistics module — after which the
+        VRA routes to/through the newcomer like any other node.
+
+        Args:
+            node: The new network node.
+            links: Links joining the newcomer to existing nodes (every
+                link must have ``node`` as one endpoint).
+
+        Returns:
+            The newcomer's :class:`VideoServer`.
+
+        Raises:
+            ServiceError: If no links are given or a link does not touch
+                the new node.
+            TopologyError: For duplicate nodes/links or unknown far ends.
+        """
+        if not links:
+            raise ServiceError(
+                f"new server {node.uid!r} needs at least one link to join"
+            )
+        for link in links:
+            if not link.touches(node.uid):
+                raise ServiceError(
+                    f"link {link.name!r} does not touch new node {node.uid!r}"
+                )
+        self.topology.add_node(node)
+        for link in links:
+            self.topology.add_link(link)
+        hardware = self._server_hardware(node.uid)
+        server = VideoServer(
+            node_uid=node.uid,
+            database=self.database,
+            disk_count=hardware["disk_count"],
+            disk_capacity_mb=hardware["disk_capacity_mb"],
+            cluster_mb=self.config.cluster_mb,
+            max_streams=hardware["max_streams"],
+            evict_until_fits=self.config.evict_until_fits,
+            pin_seeded=self.config.pin_seeded_titles,
+        )
+        self.servers[node.uid] = server
+        self.database.register_server(
+            ServerEntry(
+                server_uid=node.uid,
+                disk_count=hardware["disk_count"],
+                disk_capacity_mb=hardware["disk_capacity_mb"],
+                cache_capacity_mb=hardware["disk_count"] * hardware["disk_capacity_mb"],
+                max_streams=hardware["max_streams"],
+            )
+        )
+        for link in links:
+            self.database.register_link(
+                LinkEntry(
+                    link_name=link.name,
+                    endpoints=link.endpoints,
+                    total_bandwidth_mbps=link.capacity_mbps,
+                )
+            )
+        self.statistics.add_node(node.uid)
+        self.tracer.record(
+            self.sim.now,
+            "service.expanded",
+            f"node {node.uid} ({node.name}) joined with "
+            f"{len(links)} link(s)",
+            node_uid=node.uid,
+            links=[link.name for link in links],
+        )
+        return server
+
+    # ------------------------------------------------------------------ #
+    # request path (the web module behaviour)
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        client: Union[Client, str],
+        title_id: str,
+    ) -> Tuple[VideoRequest, StreamingSession, Process]:
+        """Place a video request on behalf of a client.
+
+        The home server is resolved from the client's address (the paper's
+        "Get the IP address of the client placing the video request"),
+        the DMA pass runs on the home server, and a streaming session
+        process is scheduled.  The session starts at the next simulation
+        tick; run the simulator to drive it.
+
+        Args:
+            client: A registered :class:`Client` or its client_id.
+            title_id: The requested title; must exist in the catalog.
+
+        Returns:
+            (request, session, process) — the process finishes when the
+            last cluster is delivered.
+
+        Raises:
+            ServiceError: For unknown clients or titles.
+        """
+        client_obj = self._resolve_client(client)
+        home_uid = client_obj.resolve_home(self._subnet_map)
+        return self._submit_at(home_uid, title_id, client_obj.client_id)
+
+    def request_by_home(
+        self, home_uid: str, title_id: str, client_id: str = "anonymous"
+    ) -> Tuple[VideoRequest, StreamingSession, Process]:
+        """Place a request directly at a home server (experiment harness)."""
+        if home_uid not in self.servers:
+            raise ServiceError(f"unknown server {home_uid!r}")
+        return self._submit_at(home_uid, title_id, client_id)
+
+    def decide(self, home_uid: str, title_id: str) -> VraDecision:
+        """One VRA decision for a request at ``home_uid`` (no streaming)."""
+        holders = self.database.servers_with_title(title_id)
+        decision = self.vra.decide(
+            home_uid,
+            title_id,
+            holders,
+            poll=lambda uid: self.servers[uid].can_provide(title_id),
+        )
+        self.tracer.record(
+            self.sim.now,
+            "vra.decision",
+            f"{title_id} at {home_uid}: chose {decision.chosen_uid} "
+            f"via {decision.path.as_label()} (cost {decision.cost:.4f})",
+            home_uid=home_uid,
+            title_id=title_id,
+            chosen_uid=decision.chosen_uid,
+            cost=decision.cost,
+            served_locally=decision.served_locally,
+        )
+        return decision
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def completed_sessions(self) -> List[SessionRecord]:
+        """Finished session records (completed or failed)."""
+        return [record for record in self.sessions if record.request.finished]
+
+    def title_video(self, title_id: str) -> VideoTitle:
+        """Reconstruct the storage-layer video object from the catalog."""
+        info = self.database.title_info(title_id)
+        return VideoTitle(
+            title_id=info.title_id,
+            name=info.name,
+            size_mb=info.size_mb,
+            duration_s=info.duration_s,
+            bitrate_mbps=info.bitrate_mbps,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _submit_at(
+        self, home_uid: str, title_id: str, client_id: str
+    ) -> Tuple[VideoRequest, StreamingSession, Process]:
+        video = self.title_video(title_id)
+        request = VideoRequest(
+            client_id=client_id,
+            home_uid=home_uid,
+            title_id=title_id,
+            submitted_at=self.sim.now,
+        )
+        home_server = self.servers[home_uid]
+        self.tracer.record(
+            self.sim.now,
+            "request.submitted",
+            f"{client_id} at {home_uid} requests {title_id}",
+            client_id=client_id,
+            home_uid=home_uid,
+            title_id=title_id,
+        )
+        dma_result = home_server.on_download_begins(video)
+        self.tracer.record(
+            self.sim.now,
+            "dma.pass",
+            f"{home_uid}: {title_id} -> {dma_result.action.value} "
+            f"(points {dma_result.points}, evicted {list(dma_result.evicted)})",
+            home_uid=home_uid,
+            title_id=title_id,
+            action=dma_result.action.value,
+            points=dma_result.points,
+            evicted=list(dma_result.evicted),
+        )
+        dma_stored = dma_result.cached and dma_result.action.value != "hit"
+
+        if self.config.strict_qos_admission and not self._qos_admissible(
+            home_uid, title_id, video
+        ):
+            return self._block_request(request, video, home_server, dma_stored)
+
+        decide = lambda: self.decide(home_uid, title_id)  # noqa: E731
+        if self.decide_wrapper is not None:
+            decide = self.decide_wrapper(decide)
+
+        session = StreamingSession(
+            sim=self.sim,
+            request=request,
+            video=video,
+            cluster_mb=self.config.cluster_mb,
+            decide=decide,
+            flows=self.flows,
+            servers=self.servers,
+            local_read_mbps=self.config.local_read_mbps,
+            rate_update_period_s=self.config.rate_update_period_s,
+            on_finish=lambda record: self._on_session_finish(
+                record, home_server, dma_stored
+            ),
+        )
+        self.sessions.append(session.record)
+        process = Process(
+            self.sim, session.run(), name=f"session:{client_id}:{title_id}"
+        )
+        return request, session, process
+
+    def _qos_admissible(self, home_uid: str, title_id: str, video: VideoTitle) -> bool:
+        """Strict-QoS check: can *some* candidate sustain the playback rate?
+
+        Local serves are always admissible; remote candidates are checked
+        against the current spare capacity along their least-cost paths.
+        """
+        try:
+            decision = self.decide(home_uid, title_id)
+        except ReproError:
+            return False
+        if decision.served_locally:
+            return True
+        paths = decision.candidate_paths or {decision.chosen_uid: decision.path}
+        return any(
+            self.flows.path_fits(list(path.nodes), video.bitrate_mbps)
+            for path in paths.values()
+        )
+
+    def _block_request(
+        self,
+        request: VideoRequest,
+        video: VideoTitle,
+        home_server: VideoServer,
+        dma_stored: bool,
+    ) -> Tuple[VideoRequest, StreamingSession, Process]:
+        """Reject a request at admission time (strict-QoS extension)."""
+        request.mark_failed(
+            "qos-blocked: no candidate path can sustain "
+            f"{video.bitrate_mbps:.2f} Mbps"
+        )
+        self.tracer.record(
+            self.sim.now,
+            "request.blocked",
+            f"{request.client_id} at {request.home_uid}: {request.title_id} "
+            f"blocked ({video.bitrate_mbps:.2f} Mbps unsustainable)",
+            client_id=request.client_id,
+            home_uid=request.home_uid,
+            title_id=request.title_id,
+        )
+        if dma_stored:
+            home_server.abort_download(request.title_id)
+        session = StreamingSession(
+            sim=self.sim,
+            request=request,
+            video=video,
+            cluster_mb=self.config.cluster_mb,
+            decide=lambda: self.decide(request.home_uid, request.title_id),
+            flows=self.flows,
+            servers=self.servers,
+        )
+        self.sessions.append(session.record)
+
+        def _already_blocked():
+            return session.record
+            yield  # pragma: no cover - makes this a generator
+
+        process = Process(self.sim, _already_blocked(), name=f"blocked:{request.request_id}")
+        return request, session, process
+
+    def _on_session_finish(
+        self, record: SessionRecord, home_server: VideoServer, dma_stored: bool
+    ) -> None:
+        if dma_stored:
+            if record.completed:
+                home_server.commit_download(record.request.title_id)
+            else:
+                home_server.abort_download(record.request.title_id)
+        self.tracer.record(
+            self.sim.now,
+            "session.finished",
+            f"{record.request.client_id}: {record.request.title_id} "
+            f"{record.request.status.value}, sources {record.servers_used}, "
+            f"{record.switch_count} switch(es)",
+            client_id=record.request.client_id,
+            title_id=record.request.title_id,
+            status=record.request.status.value,
+            servers_used=record.servers_used,
+            switches=record.switch_count,
+            startup_s=record.startup_delay_s,
+            stall_s=record.stall_s,
+        )
+
+    def _server_hardware(self, node_uid: str) -> Dict[str, float]:
+        """Effective hardware knobs for one node (uniform + overrides).
+
+        Raises:
+            ServiceError: If an override names an unknown knob.
+        """
+        hardware = {
+            "disk_count": self.config.disk_count,
+            "disk_capacity_mb": self.config.disk_capacity_mb,
+            "max_streams": self.config.max_streams,
+        }
+        overrides = self.config.server_overrides.get(node_uid, {})
+        unknown = set(overrides) - set(hardware)
+        if unknown:
+            raise ServiceError(
+                f"unknown server override(s) for {node_uid!r}: {sorted(unknown)}"
+            )
+        hardware.update(overrides)
+        hardware["disk_count"] = int(hardware["disk_count"])
+        hardware["max_streams"] = int(hardware["max_streams"])
+        return hardware
+
+    def _resolve_client(self, client: Union[Client, str]) -> Client:
+        if isinstance(client, Client):
+            if client.client_id not in self._clients:
+                raise ServiceError(
+                    f"client {client.client_id!r} is not registered"
+                )
+            return client
+        try:
+            return self._clients[client]
+        except KeyError:
+            raise ServiceError(f"unknown client {client!r}") from None
+
+    def _reported_used(self, link: Link) -> float:
+        """Used bandwidth as last written by the SNMP statistics modules."""
+        return self.database.link_entry(link.name).used_mbps
+
+    def _server_load(self, node_uid: str) -> float:
+        """Stream-slot occupancy of a node's server, in [0, 1].
+
+        The node-load term for the server-configuration VRA extension: a
+        server sourcing many streams makes its adjacent links look worse.
+        """
+        server = self.servers[node_uid]
+        return server.admission.active_count / server.admission.max_streams

@@ -1,0 +1,282 @@
+"""Per-cluster streaming with dynamic server switching.
+
+The paper: "If the optimal server remains the same for as long as the first
+cluster of the video is downloaded and played, then the second cluster is
+requested from the same server.  If the optimal server changes due to the
+change of certain network features during the downloading of a certain
+cluster, then the next cluster will be requested by the new optimal server."
+
+:class:`StreamingSession` implements exactly that loop as a simulation
+process: before every cluster it re-runs the VRA, switches source servers
+when the decision changes, reserves bandwidth along the chosen path for the
+cluster transfer, and keeps playback-continuity bookkeeping (startup delay,
+stalls) so the QoS effect of switching is measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.client.requests import VideoRequest
+from repro.core.vra import VraDecision
+from repro.errors import AdmissionError, LinkCapacityError, ReproError, RoutingError
+from repro.network.flows import FlowManager
+from repro.server.video_server import VideoServer
+from repro.sim.engine import Simulator
+from repro.sim.process import Delay
+from repro.storage.striping import cluster_sizes
+from repro.storage.video import VideoTitle
+
+#: Disk-read rate used for home-server (zero-hop) transfers, Mbps.
+DEFAULT_LOCAL_READ_MBPS = 100.0
+
+#: Floor transfer rate when a path is badly congested, so a session always
+#: makes progress (the QoS violation is still recorded).
+MIN_TRANSFER_MBPS = 0.05
+
+#: How often an in-flight cluster transfer re-evaluates its achievable
+#: rate.  The paper's network is best-effort: background traffic rising
+#: mid-transfer slows the transfer down (and falling traffic speeds it
+#: back up to the playback rate).  Server switching still happens only at
+#: cluster boundaries, exactly as the paper prescribes.
+DEFAULT_RATE_UPDATE_PERIOD_S = 60.0
+
+DecideFn = Callable[[], VraDecision]
+
+
+@dataclass(frozen=True)
+class ClusterRecord:
+    """Delivery record of one cluster.
+
+    Attributes:
+        index: 0-based cluster index.
+        server_uid: The server that sourced the cluster.
+        path_nodes: Node path from home server to source (VRA direction).
+        rate_mbps: Transfer rate actually achieved.
+        start: Simulated time the transfer began.
+        end: Simulated time the transfer finished.
+        size_mb: Cluster size.
+        switched: True when the source differs from the previous cluster's.
+        qos_violated: True when the achieved rate fell below the title's
+            playback bitrate.
+    """
+
+    index: int
+    server_uid: str
+    path_nodes: Tuple[str, ...]
+    rate_mbps: float
+    start: float
+    end: float
+    size_mb: float
+    switched: bool
+    qos_violated: bool
+
+
+@dataclass
+class SessionRecord:
+    """Everything measured about one streaming session.
+
+    Attributes:
+        request: The originating request (status is kept up to date).
+        clusters: Per-cluster delivery records, in order.
+        startup_delay_s: First-cluster completion minus submission.
+        stall_s: Total playback gap time after startup.
+        switch_count: Number of mid-stream server changes.
+        qos_violation_count: Clusters delivered below the playback rate.
+        completed_at: Simulated completion time (None if failed/running).
+    """
+
+    request: VideoRequest
+    clusters: List[ClusterRecord] = field(default_factory=list)
+    startup_delay_s: float = 0.0
+    stall_s: float = 0.0
+    switch_count: int = 0
+    qos_violation_count: int = 0
+    completed_at: Optional[float] = None
+
+    @property
+    def servers_used(self) -> List[str]:
+        """Distinct source servers, in first-use order."""
+        seen: List[str] = []
+        for record in self.clusters:
+            if record.server_uid not in seen:
+                seen.append(record.server_uid)
+        return seen
+
+    @property
+    def completed(self) -> bool:
+        """True once every cluster was delivered."""
+        return self.completed_at is not None
+
+
+class StreamingSession:
+    """Drives one video delivery, cluster by cluster.
+
+    Args:
+        sim: The simulation engine.
+        request: The client request being served.
+        video: The requested title.
+        cluster_mb: Striping cluster size ``c`` (decides switching
+            granularity, as the paper notes).
+        decide: Re-runs the VRA for this request and returns the current
+            decision; called once per cluster ("the routing algorithm also
+            continues to run at the connecting server").
+        flows: Bandwidth reservation manager for the topology.
+        servers: Video servers by node uid (for admission bookkeeping).
+        local_read_mbps: Transfer rate for home-server serves.
+        on_finish: Optional callback receiving the final SessionRecord.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        request: VideoRequest,
+        video: VideoTitle,
+        cluster_mb: float,
+        decide: DecideFn,
+        flows: FlowManager,
+        servers: Dict[str, VideoServer],
+        local_read_mbps: float = DEFAULT_LOCAL_READ_MBPS,
+        rate_update_period_s: float = DEFAULT_RATE_UPDATE_PERIOD_S,
+        on_finish: Optional[Callable[[SessionRecord], None]] = None,
+    ):
+        if not (rate_update_period_s > 0.0):
+            raise ReproError(
+                f"rate update period must be positive, got {rate_update_period_s!r}"
+            )
+        self._sim = sim
+        self._video = video
+        self._cluster_sizes = cluster_sizes(video.size_mb, cluster_mb)
+        self._decide = decide
+        self._flows = flows
+        self._servers = servers
+        self._local_read_mbps = local_read_mbps
+        self._rate_quantum_s = rate_update_period_s
+        self._on_finish = on_finish
+        self.record = SessionRecord(request=request)
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> Generator[Delay, None, SessionRecord]:
+        """Generator body to wrap in a :class:`repro.sim.process.Process`."""
+        request = self.record.request
+        request.mark_streaming()
+        previous_server: Optional[str] = None
+        try:
+            for index, size_mb in enumerate(self._cluster_sizes):
+                decision = self._decide()
+                server_uid = decision.chosen_uid
+                switched = previous_server is not None and server_uid != previous_server
+                if switched:
+                    self.record.switch_count += 1
+                previous_server = server_uid
+                yield from self._transfer_cluster(index, size_mb, decision, switched)
+        except ReproError as exc:
+            request.mark_failed(str(exc))
+            self._finish()
+            return self.record
+        request.mark_completed()
+        self.record.completed_at = self._sim.now
+        self._compute_playback_metrics()
+        self._finish()
+        return self.record
+
+    # ------------------------------------------------------------------ #
+    def _transfer_cluster(
+        self, index: int, size_mb: float, decision: VraDecision, switched: bool
+    ) -> Generator[Delay, None, None]:
+        server = self._servers.get(decision.chosen_uid)
+        lease = server.begin_serving(self._video.title_id) if server is not None else None
+        path_nodes = decision.path.nodes
+        local = decision.served_locally or decision.path.hop_count == 0
+        node_path = list(path_nodes)
+        start = self._sim.now
+        remaining = size_mb
+        min_rate = float("inf")
+        flow = None
+        try:
+            # Best-effort transfer: re-evaluate the achievable rate every
+            # quantum so background-traffic changes mid-cluster slow the
+            # transfer down (or let it recover to the playback rate).
+            while remaining > 1e-9:
+                rate, flow = self._acquire_rate(local, node_path)
+                min_rate = min(min_rate, rate)
+                time_needed = remaining * 8.0 / rate
+                step = min(time_needed, self._rate_quantum_s)
+                yield Delay(step)
+                remaining -= rate * step / 8.0
+                if flow is not None:
+                    self._flows.release(flow)
+                    flow = None
+        finally:
+            if flow is not None:
+                self._flows.release(flow)
+            if server is not None and lease is not None:
+                server.end_serving(lease)
+        end = self._sim.now
+        qos_violated = min_rate < self._video.bitrate_mbps - 1e-9
+        if qos_violated:
+            self.record.qos_violation_count += 1
+        average_rate = size_mb * 8.0 / (end - start) if end > start else min_rate
+        self.record.clusters.append(
+            ClusterRecord(
+                index=index,
+                server_uid=decision.chosen_uid,
+                path_nodes=path_nodes,
+                rate_mbps=average_rate,
+                start=start,
+                end=end,
+                size_mb=size_mb,
+                switched=switched,
+                qos_violated=qos_violated,
+            )
+        )
+
+    def _acquire_rate(self, local: bool, node_path: List[str]):
+        """Pick the current transfer rate and reserve it on the path.
+
+        Local serves read from disk; remote serves target the playback
+        bitrate and degrade to the bottleneck's spare capacity (never below
+        :data:`MIN_TRANSFER_MBPS`) when the path is congested.
+        """
+        if local:
+            return self._local_read_mbps, None
+        target = self._video.bitrate_mbps
+        bottleneck = self._flows.bottleneck_mbps(node_path)
+        rate = min(target, bottleneck) if bottleneck > 0.0 else 0.0
+        rate = max(rate, MIN_TRANSFER_MBPS)
+        try:
+            flow = self._flows.reserve(node_path, rate)
+        except LinkCapacityError:
+            # The bottleneck moved between measurement and reservation
+            # (another session grabbed it); fall back to the floor rate
+            # without a reservation so progress continues.
+            return MIN_TRANSFER_MBPS, None
+        return rate, flow
+
+    def _compute_playback_metrics(self) -> None:
+        """Startup delay and stall time from the cluster timeline.
+
+        Playback starts when the first cluster lands; cluster ``i`` plays
+        for its share of the title's duration and can only start once both
+        the previous cluster finished playing and cluster ``i`` finished
+        downloading.  Accumulated waiting past startup is stall time.
+        """
+        clusters = self.record.clusters
+        if not clusters:
+            return
+        request = self.record.request
+        self.record.startup_delay_s = clusters[0].end - request.submitted_at
+        seconds_per_mb = self._video.playback_seconds_per_mb()
+        playback_cursor = clusters[0].end
+        stall = 0.0
+        for record in clusters:
+            if record.end > playback_cursor:
+                stall += record.end - playback_cursor
+                playback_cursor = record.end
+            playback_cursor += record.size_mb * seconds_per_mb
+        self.record.stall_s = stall
+
+    def _finish(self) -> None:
+        if self._on_finish is not None:
+            self._on_finish(self.record)

@@ -1,0 +1,196 @@
+"""The Virtual Routing Algorithm (paper Figure 5).
+
+Given a client request, the VRA:
+
+1. determines the client's *home server* (the server the client is directly
+   connected to);
+2. if the home server can provide the title, serves locally and quits;
+3. otherwise lists every server holding the title, polls them for
+   availability, computes the LVN of every link (equations 1-4), runs
+   Dijkstra from the home server over those weights, and picks the
+   candidate whose least-cost path is cheapest.
+
+The decision object keeps the complete audit trail — weight table, Dijkstra
+result (with optional step trace for Tables 4-5), every candidate's best
+path — which is what the case-study benchmarks print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.lvn import (
+    DEFAULT_NORMALIZATION_CONSTANT,
+    NodeLoadFn,
+    UsedBandwidthFn,
+    weight_table,
+)
+from repro.errors import RoutingError, TitleUnavailableError
+from repro.network.routing.dijkstra import DijkstraResult, dijkstra
+from repro.network.routing.paths import Path
+from repro.network.topology import Topology
+
+#: Poll callback: may a given server currently provide the title?
+PollFn = Callable[[str], bool]
+
+
+@dataclass(frozen=True)
+class VraDecision:
+    """The outcome of one VRA run.
+
+    Attributes:
+        title_id: The requested title.
+        home_uid: The client's adjacent (home) server.
+        chosen_uid: The server selected to transmit the video.
+        served_locally: True when the home-server shortcut fired (step 3 of
+            Figure 5); in that case no routing ran and ``path`` is the
+            1-node path at cost 0.
+        path: Least-cost path from the home server to ``chosen_uid`` (the
+            download traverses it in reverse).
+        candidate_paths: Best path per polled-up candidate server.
+        weights: The LVN table used (empty for local serves).
+        dijkstra_result: Full shortest-path tree (None for local serves).
+        polled_out: Candidates that failed the availability poll.
+    """
+
+    title_id: str
+    home_uid: str
+    chosen_uid: str
+    served_locally: bool
+    path: Path
+    candidate_paths: Dict[str, Path] = field(default_factory=dict)
+    weights: Dict[str, float] = field(default_factory=dict)
+    dijkstra_result: Optional[DijkstraResult] = None
+    polled_out: Sequence[str] = ()
+
+    @property
+    def cost(self) -> float:
+        """Total LVN cost of the selected path (0 for local serves)."""
+        return self.path.cost
+
+    def download_route(self) -> Path:
+        """The route walked by the video data: chosen server -> home."""
+        return self.path.reversed()
+
+
+class VirtualRoutingAlgorithm:
+    """The VRA, parameterised the way the service deploys it.
+
+    Args:
+        topology: The service network.
+        used_of: Used-bandwidth provider for the LVN equations; the service
+            passes a database-backed reader so the VRA sees SNMP-reported
+            (possibly stale) values, per the paper's data flow.
+        normalization_constant: The K of equation (4); the paper suggests 10.
+        node_load: Optional server-workload term folded into the node
+            validations (the paper's future-work extension for "Server
+            configuration factor(s)"); None gives the paper's exact eq. 2.
+        trace: When True, every Dijkstra run records the paper-style step
+            table (Tables 4-5) into the decision's ``dijkstra_result``.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        used_of: Optional[UsedBandwidthFn] = None,
+        normalization_constant: float = DEFAULT_NORMALIZATION_CONSTANT,
+        node_load: Optional[NodeLoadFn] = None,
+        trace: bool = False,
+    ):
+        self._topology = topology
+        self._used_of = used_of
+        self._k = normalization_constant
+        self._node_load = node_load
+        self._trace = trace
+        self.decision_count = 0
+
+    def weights(self) -> Dict[str, float]:
+        """Current LVN table ("Calculate the Link Validation Number for
+        each network link")."""
+        return weight_table(self._topology, self._used_of, self._k, self._node_load)
+
+    def decide(
+        self,
+        home_uid: str,
+        title_id: str,
+        holders: Sequence[str],
+        poll: Optional[PollFn] = None,
+    ) -> VraDecision:
+        """Run Figure 5 for one request.
+
+        Args:
+            home_uid: The client's adjacent server (already resolved from
+                the client's IP by the service layer).
+            title_id: The requested video title.
+            holders: Servers that have the title stored (the database's
+                title-location list).
+            poll: Availability poll; servers answering False are excluded
+                ("Poll all of those servers to find out which ones can
+                provide the video").  Defaults to everyone-available.
+
+        Returns:
+            The :class:`VraDecision` with the full audit trail.
+
+        Raises:
+            TitleUnavailableError: If no server holds the title.
+            RoutingError: If every holder polled out or none is reachable.
+        """
+        self.decision_count += 1
+        if not holders:
+            raise TitleUnavailableError(
+                f"no server in the network has title {title_id!r}"
+            )
+        poll_fn = poll if poll is not None else (lambda _uid: True)
+
+        # Figure 5: "IF the adjacent to the client video server can provide
+        # the requested video THEN authorize ... QUIT".
+        if home_uid in holders and poll_fn(home_uid):
+            return VraDecision(
+                title_id=title_id,
+                home_uid=home_uid,
+                chosen_uid=home_uid,
+                served_locally=True,
+                path=Path(nodes=(home_uid,), cost=0.0),
+            )
+
+        available = [uid for uid in holders if uid != home_uid and poll_fn(uid)]
+        polled_out = tuple(uid for uid in holders if uid != home_uid and uid not in available)
+        if not available:
+            raise RoutingError(
+                f"title {title_id!r}: every holder {list(holders)} polled "
+                "out or is the (title-less) home server"
+            )
+
+        weights = self.weights()
+        result = dijkstra(
+            self._topology,
+            home_uid,
+            weight=lambda link: weights[link.name],
+            trace=self._trace,
+        )
+
+        candidate_paths: Dict[str, Path] = {}
+        for uid in available:
+            if result.reaches(uid):
+                candidate_paths[uid] = result.path(uid)
+        if not candidate_paths:
+            raise RoutingError(
+                f"title {title_id!r}: no candidate server {available} is "
+                f"reachable from home server {home_uid!r}"
+            )
+
+        # "From those alternative least cost paths choose the one with the
+        # smallest cost."  Ties break on server uid for determinism.
+        chosen_uid = min(candidate_paths, key=lambda uid: (candidate_paths[uid].cost, uid))
+        return VraDecision(
+            title_id=title_id,
+            home_uid=home_uid,
+            chosen_uid=chosen_uid,
+            served_locally=False,
+            path=candidate_paths[chosen_uid],
+            candidate_paths=candidate_paths,
+            weights=weights,
+            dijkstra_result=result,
+            polled_out=polled_out,
+        )

@@ -1,0 +1,28 @@
+"""The VoD service database.
+
+The paper's database "is conceptually divided into two similar modules: the
+full-access one and the limited access one", with one entry per server and
+per link.  The full-access side holds what users may see (available titles
+and their info); the limited-access side holds network and configuration
+attributes that only administrators and the VRA application read (link
+bandwidth, SNMP utilisation, server configuration).
+
+:mod:`repro.database.records` defines the entry types,
+:mod:`repro.database.store` the database itself, and
+:mod:`repro.database.access` the full/limited access handles that enforce
+the visibility split.
+"""
+
+from repro.database.access import AccessLevel, DatabaseHandle
+from repro.database.records import LinkEntry, LinkStats, ServerEntry, TitleInfo
+from repro.database.store import ServiceDatabase
+
+__all__ = [
+    "AccessLevel",
+    "DatabaseHandle",
+    "LinkEntry",
+    "LinkStats",
+    "ServerEntry",
+    "ServiceDatabase",
+    "TitleInfo",
+]

@@ -1,0 +1,121 @@
+"""Entry types stored in the service database.
+
+Each server and each link participating in the service has one entry; the
+attributes of an entry are split between the full-access sub-module (user
+visible) and the limited-access sub-module (admin/VRA visible), mirroring
+the paper's "different attributes of this entry are accessible from each
+one of the two interface modules".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class TitleInfo:
+    """User-visible information about a video title (full access).
+
+    Attributes:
+        title_id: Stable identifier of the title.
+        name: Display name.
+        size_mb: Size in megabytes (drives striping and transfer time).
+        duration_s: Playback duration in seconds.
+        bitrate_mbps: Nominal playback rate; defaults to size/duration.
+    """
+
+    title_id: str
+    name: str
+    size_mb: float
+    duration_s: float
+    bitrate_mbps: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.title_id:
+            raise ValueError("title_id must be non-empty")
+        if not (self.size_mb > 0.0):
+            raise ValueError(f"title size must be positive, got {self.size_mb!r}")
+        if not (self.duration_s > 0.0):
+            raise ValueError(f"title duration must be positive, got {self.duration_s!r}")
+        if self.bitrate_mbps <= 0.0:
+            # size_mb megabytes over duration_s seconds, in megabits/second.
+            object.__setattr__(
+                self, "bitrate_mbps", self.size_mb * 8.0 / self.duration_s
+            )
+
+
+@dataclass
+class ServerEntry:
+    """Database entry for one video server.
+
+    Full-access attributes: the set of title ids available on the server.
+    Limited-access attributes: configuration (disk count, cache size,
+    concurrent stream capacity) entered at initialisation and on change.
+    """
+
+    server_uid: str
+    # full access
+    title_ids: Set[str] = field(default_factory=set)
+    # limited access (configuration information)
+    disk_count: int = 1
+    disk_capacity_mb: float = 0.0
+    cache_capacity_mb: float = 0.0
+    max_streams: int = 0
+    online: bool = True
+    config_version: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.server_uid:
+            raise ValueError("server_uid must be non-empty")
+        if self.disk_count < 1:
+            raise ValueError(f"disk_count must be >= 1, got {self.disk_count}")
+
+
+@dataclass(frozen=True)
+class LinkStats:
+    """One SNMP statistics sample for a link (limited access).
+
+    Attributes:
+        used_mbps: Traffic_in + traffic_out of eq. (5), in Mbps.
+        utilization: used / total bandwidth, in [0, 1].
+        timestamp: Simulated time the sample was written.
+    """
+
+    used_mbps: float
+    utilization: float
+    timestamp: float
+
+
+@dataclass
+class LinkEntry:
+    """Database entry for one network link.
+
+    Limited-access attributes: total bandwidth (entered by administrators at
+    initialisation, per the paper's "Network links' bandwidth" item) and the
+    latest SNMP statistics sample.
+    """
+
+    link_name: str
+    endpoints: Tuple[str, str]
+    total_bandwidth_mbps: float
+    latest_stats: Optional[LinkStats] = None
+    config_version: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.link_name:
+            raise ValueError("link_name must be non-empty")
+        if not (self.total_bandwidth_mbps > 0.0):
+            raise ValueError(
+                f"total bandwidth must be positive, got {self.total_bandwidth_mbps!r}"
+            )
+
+    @property
+    def used_mbps(self) -> float:
+        """Latest reported used bandwidth (0 before the first sample)."""
+        return self.latest_stats.used_mbps if self.latest_stats else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Latest reported utilisation in [0, 1] (0 before the first sample)."""
+        return self.latest_stats.utilization if self.latest_stats else 0.0

@@ -1,0 +1,47 @@
+"""Experiment harness reproducing the paper's evaluation.
+
+* :mod:`repro.experiments.casestudy` — Tables 2-5 and Experiments A-D on
+  the GRNET backbone, with paper-vs-computed diffing;
+* :mod:`repro.experiments.harness` — service-level experiment runner used
+  by the comparison/ablation benchmarks (X1-X4 in DESIGN.md);
+* :mod:`repro.experiments.report` — ASCII table rendering in the paper's
+  layouts.
+"""
+
+from repro.experiments.casestudy import (
+    EXPERIMENTS,
+    ExperimentOutcome,
+    ExperimentSpec,
+    compute_table2_utilization_percent,
+    compute_table3_lvn,
+    run_experiment,
+    table2_deltas,
+    table3_deltas,
+)
+from repro.experiments.harness import ServiceExperiment, SweepResult, run_service_experiment
+from repro.experiments.report import (
+    render_dijkstra_trace,
+    render_experiment,
+    render_table,
+    render_table2,
+    render_table3,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentOutcome",
+    "ExperimentSpec",
+    "ServiceExperiment",
+    "SweepResult",
+    "compute_table2_utilization_percent",
+    "compute_table3_lvn",
+    "render_dijkstra_trace",
+    "render_experiment",
+    "render_table",
+    "render_table2",
+    "render_table3",
+    "run_experiment",
+    "run_service_experiment",
+    "table2_deltas",
+    "table3_deltas",
+]

@@ -1,0 +1,24 @@
+"""Implementations of the paper's stated future-work directions.
+
+The paper's Conclusions sketch three improvements; each is implemented and
+benchmarked:
+
+* **Strip-level distributed caching** — "the most popular technique that
+  we have described will not be imposed on whole videos but on video
+  strips", striped across *servers* rather than one server's disks:
+  :mod:`repro.extensions.strip_caching` (ablation bench X5).
+* **Server configuration factors in the validation** — "what the role of
+  every Server configuration factor (CPU speed, available RAM etc.) is":
+  the ``node_load`` parameter of :mod:`repro.core.lvn` and
+  ``ServiceConfig.use_server_load_in_vra`` (ablation bench X6).
+* **Improved QoS standards** — strict admission instead of degraded
+  delivery: ``ServiceConfig.strict_qos_admission`` (ablation bench X7).
+"""
+
+from repro.extensions.strip_caching import (
+    StripCachingEvaluator,
+    StripStore,
+    WorkloadReport,
+)
+
+__all__ = ["StripCachingEvaluator", "StripStore", "WorkloadReport"]

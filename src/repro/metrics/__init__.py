@@ -1,0 +1,20 @@
+"""Measurement utilities: session-level collectors, summary statistics and
+time series used by the benchmark harness."""
+
+from repro.metrics.analysis import RunAnalysis, analyze_sessions, render_analysis
+from repro.metrics.collectors import SessionMetrics, summarize_sessions
+from repro.metrics.stats import confidence_interval_95, mean, percentile, stddev
+from repro.metrics.timeseries import TimeSeries
+
+__all__ = [
+    "RunAnalysis",
+    "SessionMetrics",
+    "TimeSeries",
+    "analyze_sessions",
+    "confidence_interval_95",
+    "mean",
+    "percentile",
+    "render_analysis",
+    "stddev",
+    "summarize_sessions",
+]

@@ -1,0 +1,92 @@
+"""Small, dependency-free summary statistics.
+
+Implemented directly (rather than via numpy) so property tests can verify
+them against first principles and so the metrics layer stays importable in
+minimal environments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.errors import ReproError
+
+
+def _require_data(values: Sequence[float], what: str) -> None:
+    if not values:
+        raise ReproError(f"cannot compute {what} of an empty sequence")
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean.
+
+    Raises:
+        ReproError: On empty input.
+    """
+    _require_data(values, "mean")
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Sample standard deviation (n-1 denominator; 0 for a single value)."""
+    _require_data(values, "stddev")
+    if len(values) == 1:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (len(values) - 1))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100].
+
+    Raises:
+        ReproError: On empty input or out-of-range ``q``.
+    """
+    _require_data(values, "percentile")
+    if not (0.0 <= q <= 100.0):
+        raise ReproError(f"percentile must be in [0, 100], got {q!r}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q / 100.0
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return ordered[low]
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def confidence_interval_95(values: Sequence[float]) -> Tuple[float, float]:
+    """Normal-approximation 95% confidence interval for the mean.
+
+    Returns:
+        (low, high); degenerate (m, m) for a single observation.
+    """
+    _require_data(values, "confidence interval")
+    m = mean(values)
+    if len(values) == 1:
+        return (m, m)
+    half_width = 1.96 * stddev(values) / math.sqrt(len(values))
+    return (m - half_width, m + half_width)
+
+
+def histogram(values: Sequence[float], bin_count: int) -> List[Tuple[float, int]]:
+    """Equal-width histogram as (bin lower edge, count) pairs.
+
+    Raises:
+        ReproError: On empty input or non-positive bin count.
+    """
+    _require_data(values, "histogram")
+    if bin_count < 1:
+        raise ReproError(f"bin count must be >= 1, got {bin_count}")
+    low, high = min(values), max(values)
+    if low == high:
+        return [(low, len(values))]
+    width = (high - low) / bin_count
+    counts = [0] * bin_count
+    for v in values:
+        index = min(int((v - low) / width), bin_count - 1)
+        counts[index] += 1
+    return [(low + i * width, counts[i]) for i in range(bin_count)]

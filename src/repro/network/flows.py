@@ -1,0 +1,109 @@
+"""Bandwidth reservation (flow) accounting.
+
+A *flow* is a VoD stream occupying ``rate_mbps`` along every link of a path.
+The :class:`FlowManager` reserves atomically — either every link on the path
+accepts the reservation or none does — so link accounting can never be left
+half-updated by an admission failure mid-path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import FlowError, LinkCapacityError
+from repro.network.link import Link
+from repro.network.topology import Topology
+
+
+@dataclass(frozen=True)
+class Flow:
+    """An active bandwidth reservation.
+
+    Attributes:
+        flow_id: Unique id assigned by the manager.
+        node_path: Node uids from source server to client's home server.
+        rate_mbps: Reserved bandwidth on every link of the path.
+    """
+
+    flow_id: int
+    node_path: Tuple[str, ...]
+    rate_mbps: float
+
+    @property
+    def hop_count(self) -> int:
+        """Number of links traversed."""
+        return max(len(self.node_path) - 1, 0)
+
+
+class FlowManager:
+    """Creates and releases flows against a topology's links."""
+
+    def __init__(self, topology: Topology):
+        self._topology = topology
+        self._ids = itertools.count(1)
+        self._active: Dict[int, Flow] = {}
+
+    @property
+    def active_count(self) -> int:
+        """Number of currently reserved flows."""
+        return len(self._active)
+
+    def active_flows(self) -> List[Flow]:
+        """Snapshot of active flows."""
+        return list(self._active.values())
+
+    def reserve(self, node_path: List[str], rate_mbps: float) -> Flow:
+        """Atomically reserve ``rate_mbps`` along ``node_path``.
+
+        A single-node path (source == destination, the paper's "adjacent
+        server has the video" shortcut) reserves nothing but still yields a
+        trackable flow.
+
+        Raises:
+            FlowError: If the path is empty or the rate is not positive.
+            LinkCapacityError: If any link lacks spare capacity; in that
+                case no link is modified.
+        """
+        if not node_path:
+            raise FlowError("flow path must contain at least one node")
+        if not (rate_mbps > 0.0):
+            raise FlowError(f"flow rate must be positive, got {rate_mbps!r}")
+        links = self._topology.path_links(node_path)
+        reserved: List[Link] = []
+        try:
+            for link in links:
+                link.reserve(rate_mbps)
+                reserved.append(link)
+        except LinkCapacityError:
+            for link in reserved:
+                link.release(rate_mbps)
+            raise
+        flow = Flow(flow_id=next(self._ids), node_path=tuple(node_path), rate_mbps=rate_mbps)
+        self._active[flow.flow_id] = flow
+        return flow
+
+    def release(self, flow: Flow) -> None:
+        """Release every link reservation held by ``flow``.
+
+        Raises:
+            FlowError: If the flow is unknown or already released.
+        """
+        if flow.flow_id not in self._active:
+            raise FlowError(f"flow {flow.flow_id} is not active (double release?)")
+        for link in self._topology.path_links(list(flow.node_path)):
+            link.release(flow.rate_mbps)
+        del self._active[flow.flow_id]
+
+    def path_fits(self, node_path: List[str], rate_mbps: float) -> bool:
+        """True if every link on the path has ``rate_mbps`` spare."""
+        links = self._topology.path_links(node_path)
+        return all(link.free_mbps + 1e-9 >= rate_mbps for link in links)
+
+    def bottleneck_mbps(self, node_path: List[str]) -> float:
+        """Smallest spare capacity along the path (inf for a 1-node path)."""
+        links = self._topology.path_links(node_path)
+        if not links:
+            return float("inf")
+        return min(link.free_mbps for link in links)

@@ -1,0 +1,150 @@
+"""The Greek Research & Technology Network backbone of the paper's Figure 6.
+
+This module embeds, verbatim, the case-study inputs:
+
+* the six-node, seven-link topology (U1 Athens, U2 Patra, U3 Ioannina,
+  U4 Thessaloniki, U5 Xanthi, U6 Heraklio), and
+* the Table 2 SNMP traffic samples at 8am, 10am, 4pm and 6pm.
+
+The paper reports some samples in kb and two links in *bits* ("100 bits" on
+a 2 Mb link = 0.005% utilisation); everything here is normalised to Mbps,
+which round-trips to the paper's printed utilisation percentages (the
+``PAPER_TABLE2_UTILIZATION_PERCENT`` constants benchmarks compare against).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.network.link import Link
+from repro.network.node import Node
+from repro.network.topology import Topology
+
+#: Node uid -> city, in the paper's numbering.
+GRNET_NODES: Dict[str, str] = {
+    "U1": "Athens",
+    "U2": "Patra",
+    "U3": "Ioannina",
+    "U4": "Thessaloniki",
+    "U5": "Xanthi",
+    "U6": "Heraklio",
+}
+
+#: (link name, endpoint uids, capacity in Mbps), in Table 2 row order.
+GRNET_LINKS: List[Tuple[str, Tuple[str, str], float]] = [
+    ("Patra-Athens", ("U2", "U1"), 2.0),
+    ("Patra-Ioannina", ("U2", "U3"), 2.0),
+    ("Thessaloniki-Athens", ("U4", "U1"), 18.0),
+    ("Thessaloniki-Xanthi", ("U4", "U5"), 2.0),
+    ("Thessaloniki-Ioannina", ("U4", "U3"), 2.0),
+    ("Athens-Heraklio", ("U1", "U6"), 18.0),
+    ("Xanthi-Heraklio", ("U5", "U6"), 2.0),
+]
+
+#: Sampling instants of Table 2, as labels and seconds-since-midnight.
+SAMPLE_TIMES: List[str] = ["8am", "10am", "4pm", "6pm"]
+SAMPLE_TIME_SECONDS: Dict[str, float] = {
+    "8am": 8 * 3600.0,
+    "10am": 10 * 3600.0,
+    "4pm": 16 * 3600.0,
+    "6pm": 18 * 3600.0,
+}
+
+#: Table 2 traffic samples, link name -> {time label -> used Mbps}.
+#: "100 bits" style entries are 100e-6 kb = 1e-4 Mbit of traffic.
+TABLE2_TRAFFIC_MBPS: Dict[str, Dict[str, float]] = {
+    "Patra-Athens": {"8am": 0.2, "10am": 1.82, "4pm": 1.82, "6pm": 1.82},
+    "Patra-Ioannina": {"8am": 0.0001, "10am": 0.00017, "4pm": 0.2, "6pm": 0.24},
+    "Thessaloniki-Athens": {"8am": 1.7, "10am": 7.0, "4pm": 9.8, "6pm": 9.6},
+    "Thessaloniki-Xanthi": {"8am": 0.48, "10am": 0.52, "4pm": 0.75, "6pm": 0.6},
+    "Thessaloniki-Ioannina": {"8am": 0.3, "10am": 1.48, "4pm": 1.86, "6pm": 1.3},
+    "Athens-Heraklio": {"8am": 0.5, "10am": 2.5, "4pm": 5.5, "6pm": 6.0},
+    "Xanthi-Heraklio": {"8am": 0.0001, "10am": 0.00015, "4pm": 0.0002, "6pm": 0.00015},
+}
+
+#: The utilisation percentages as printed in Table 2 (for benchmark diffs).
+PAPER_TABLE2_UTILIZATION_PERCENT: Dict[str, Dict[str, float]] = {
+    "Patra-Athens": {"8am": 10.0, "10am": 91.0, "4pm": 91.0, "6pm": 91.0},
+    "Patra-Ioannina": {"8am": 0.005, "10am": 0.0085, "4pm": 10.0, "6pm": 12.0},
+    "Thessaloniki-Athens": {"8am": 9.4, "10am": 38.8, "4pm": 54.4, "6pm": 53.3},
+    "Thessaloniki-Xanthi": {"8am": 24.0, "10am": 26.0, "4pm": 37.5, "6pm": 30.0},
+    "Thessaloniki-Ioannina": {"8am": 15.0, "10am": 74.0, "4pm": 93.0, "6pm": 65.0},
+    "Athens-Heraklio": {"8am": 2.7, "10am": 13.8, "4pm": 30.5, "6pm": 33.3},
+    "Xanthi-Heraklio": {"8am": 0.005, "10am": 0.005, "4pm": 0.01, "6pm": 0.0075},
+}
+
+#: The Link Validation Numbers as printed in Table 3 (for benchmark diffs).
+PAPER_TABLE3_LVN: Dict[str, Dict[str, float]] = {
+    "Patra-Athens": {"8am": 0.083, "10am": 0.632, "4pm": 0.687, "6pm": 0.697},
+    "Patra-Ioannina": {"8am": 0.07501, "10am": 0.450017, "4pm": 0.535, "6pm": 0.539},
+    "Thessaloniki-Athens": {"8am": 0.2819, "10am": 1.1075, "4pm": 1.5433, "6pm": 1.4824},
+    "Thessaloniki-Xanthi": {"8am": 0.168, "10am": 0.4611, "4pm": 0.6391, "6pm": 0.583},
+    "Thessaloniki-Ioannina": {"8am": 0.1427, "10am": 0.5571, "4pm": 0.7501, "6pm": 0.653},
+    "Athens-Heraklio": {"8am": 0.1116, "10am": 0.5462, "4pm": 0.999, "6pm": 1.0574},
+    "Xanthi-Heraklio": {"8am": 0.1201, "10am": 0.13001, "4pm": 0.275015, "6pm": 0.3},
+}
+
+
+def build_grnet_topology() -> Topology:
+    """Construct the Figure 6 backbone with zero background traffic."""
+    topology = Topology(name="GRNET")
+    for uid, city in GRNET_NODES.items():
+        topology.add_node(Node(uid=uid, name=city))
+    for name, (a, b), capacity in GRNET_LINKS:
+        topology.add_link(Link(a_uid=a, b_uid=b, capacity_mbps=capacity, name=name))
+    topology.validate()
+    return topology
+
+
+def apply_traffic_sample(topology: Topology, time_label: str) -> None:
+    """Load one Table 2 column as background traffic onto the links.
+
+    Args:
+        topology: A topology built by :func:`build_grnet_topology` (any
+            topology containing the GRNET link names works).
+        time_label: One of ``"8am"``, ``"10am"``, ``"4pm"``, ``"6pm"``.
+
+    Raises:
+        KeyError: If ``time_label`` is not a Table 2 sampling instant.
+    """
+    if time_label not in SAMPLE_TIMES:
+        raise KeyError(
+            f"unknown sample time {time_label!r}; expected one of {SAMPLE_TIMES}"
+        )
+    for link_name, samples in TABLE2_TRAFFIC_MBPS.items():
+        topology.link_named(link_name).set_background_mbps(samples[time_label])
+
+
+def traffic_at(time_label: str) -> Dict[str, float]:
+    """Table 2 column as {link name -> used Mbps}."""
+    if time_label not in SAMPLE_TIMES:
+        raise KeyError(
+            f"unknown sample time {time_label!r}; expected one of {SAMPLE_TIMES}"
+        )
+    return {name: samples[time_label] for name, samples in TABLE2_TRAFFIC_MBPS.items()}
+
+
+def interpolated_traffic(seconds_since_midnight: float) -> Dict[str, float]:
+    """Piecewise-linear traffic between the Table 2 samples.
+
+    Used by the dynamic-switching benches to morph link load continuously
+    through the day the way the paper's narrative ("the optimal server might
+    not be the optimal server after some time") requires.  Before 8am and
+    after 6pm the nearest sample is held.
+    """
+    points = [(SAMPLE_TIME_SECONDS[label], label) for label in SAMPLE_TIMES]
+    t = float(seconds_since_midnight)
+    if t <= points[0][0]:
+        return traffic_at(points[0][1])
+    if t >= points[-1][0]:
+        return traffic_at(points[-1][1])
+    for (t0, label0), (t1, label1) in zip(points, points[1:]):
+        if t0 <= t <= t1:
+            frac = (t - t0) / (t1 - t0)
+            before = traffic_at(label0)
+            after = traffic_at(label1)
+            return {
+                name: before[name] + frac * (after[name] - before[name])
+                for name in before
+            }
+    raise AssertionError("unreachable: sample intervals cover [first, last]")

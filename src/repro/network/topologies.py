@@ -1,0 +1,176 @@
+"""Synthetic topology generators.
+
+The paper argues the service suits "a large variety of diverse networks";
+these constructors provide the standard shapes used by the examples,
+benchmarks and tests: stars, rings, lines, trees, grids and random
+connected graphs.  All return validated :class:`~repro.network.topology.
+Topology` objects with uniform link capacity (override per link afterwards
+for heterogeneous designs).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.errors import TopologyError
+from repro.network.link import Link
+from repro.network.node import Node
+from repro.network.topology import Topology
+
+
+def _add_nodes(topology: Topology, count: int, prefix: str) -> List[str]:
+    uids = [f"{prefix}{i}" for i in range(count)]
+    for uid in uids:
+        topology.add_node(Node(uid))
+    return uids
+
+
+def star_topology(leaf_count: int, capacity_mbps: float = 10.0) -> Topology:
+    """A hub (``H0``) with ``leaf_count`` spokes (``L0``..).
+
+    Raises:
+        TopologyError: If fewer than one leaf is requested.
+    """
+    if leaf_count < 1:
+        raise TopologyError(f"star needs >= 1 leaf, got {leaf_count}")
+    topology = Topology(name=f"star-{leaf_count}")
+    topology.add_node(Node("H0", name="hub"))
+    for i in range(leaf_count):
+        leaf = topology.add_node(Node(f"L{i}"))
+        topology.add_link(Link("H0", leaf.uid, capacity_mbps=capacity_mbps))
+    topology.validate()
+    return topology
+
+
+def ring_topology(node_count: int, capacity_mbps: float = 10.0) -> Topology:
+    """A cycle ``R0-R1-...-R(n-1)-R0``.
+
+    Raises:
+        TopologyError: If fewer than three nodes are requested.
+    """
+    if node_count < 3:
+        raise TopologyError(f"ring needs >= 3 nodes, got {node_count}")
+    topology = Topology(name=f"ring-{node_count}")
+    uids = _add_nodes(topology, node_count, "R")
+    for i, uid in enumerate(uids):
+        topology.add_link(
+            Link(uid, uids[(i + 1) % node_count], capacity_mbps=capacity_mbps)
+        )
+    topology.validate()
+    return topology
+
+
+def line_topology(node_count: int, capacity_mbps: float = 10.0) -> Topology:
+    """A path ``P0-P1-...-P(n-1)``.
+
+    Raises:
+        TopologyError: If fewer than two nodes are requested.
+    """
+    if node_count < 2:
+        raise TopologyError(f"line needs >= 2 nodes, got {node_count}")
+    topology = Topology(name=f"line-{node_count}")
+    uids = _add_nodes(topology, node_count, "P")
+    for a, b in zip(uids, uids[1:]):
+        topology.add_link(Link(a, b, capacity_mbps=capacity_mbps))
+    topology.validate()
+    return topology
+
+
+def tree_topology(
+    depth: int, branching: int = 2, capacity_mbps: float = 10.0
+) -> Topology:
+    """A complete tree of the given depth and branching factor.
+
+    Node ``T0`` is the root; children of ``Tk`` are numbered breadth-first.
+
+    Raises:
+        TopologyError: For non-positive depth or branching.
+    """
+    if depth < 1:
+        raise TopologyError(f"tree needs depth >= 1, got {depth}")
+    if branching < 1:
+        raise TopologyError(f"tree needs branching >= 1, got {branching}")
+    topology = Topology(name=f"tree-d{depth}b{branching}")
+    topology.add_node(Node("T0"))
+    frontier = ["T0"]
+    serial = 1
+    for _ in range(depth):
+        next_frontier = []
+        for parent in frontier:
+            for _ in range(branching):
+                child = f"T{serial}"
+                serial += 1
+                topology.add_node(Node(child))
+                topology.add_link(Link(parent, child, capacity_mbps=capacity_mbps))
+                next_frontier.append(child)
+        frontier = next_frontier
+    topology.validate()
+    return topology
+
+
+def grid_topology(rows: int, cols: int, capacity_mbps: float = 10.0) -> Topology:
+    """A rows x cols mesh; node ``Gr.c`` connects to its 4-neighbours.
+
+    Raises:
+        TopologyError: For dimensions below 1x2 / 2x1.
+    """
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise TopologyError(f"grid needs >= 2 nodes, got {rows}x{cols}")
+    topology = Topology(name=f"grid-{rows}x{cols}")
+    for r in range(rows):
+        for c in range(cols):
+            topology.add_node(Node(f"G{r}.{c}"))
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                topology.add_link(
+                    Link(f"G{r}.{c}", f"G{r}.{c + 1}", capacity_mbps=capacity_mbps)
+                )
+            if r + 1 < rows:
+                topology.add_link(
+                    Link(f"G{r}.{c}", f"G{r + 1}.{c}", capacity_mbps=capacity_mbps)
+                )
+    topology.validate()
+    return topology
+
+
+def random_topology(
+    node_count: int,
+    extra_links: int = 0,
+    capacity_mbps: float = 10.0,
+    rng: Optional[random.Random] = None,
+) -> Topology:
+    """A connected random graph: random spanning tree + extra chords.
+
+    Args:
+        node_count: Number of nodes.
+        extra_links: Chords added beyond the spanning tree (duplicates are
+            re-drawn; saturating the clique stops early).
+        capacity_mbps: Uniform link capacity.
+        rng: Randomness source, for reproducibility.
+
+    Raises:
+        TopologyError: If fewer than two nodes are requested.
+    """
+    if node_count < 2:
+        raise TopologyError(f"random topology needs >= 2 nodes, got {node_count}")
+    if extra_links < 0:
+        raise TopologyError(f"extra_links must be >= 0, got {extra_links}")
+    rng = rng if rng is not None else random.Random(0)
+    topology = Topology(name=f"random-{node_count}")
+    uids = _add_nodes(topology, node_count, "N")
+    for i in range(1, node_count):
+        j = rng.randrange(i)
+        topology.add_link(Link(uids[i], uids[j], capacity_mbps=capacity_mbps))
+    max_links = node_count * (node_count - 1) // 2
+    added = 0
+    attempts = 0
+    while added < extra_links and topology.link_count < max_links and attempts < 50 * extra_links + 50:
+        attempts += 1
+        a, b = rng.sample(uids, 2)
+        if not topology.has_link_between(a, b):
+            topology.add_link(Link(a, b, capacity_mbps=capacity_mbps))
+            added += 1
+    topology.validate()
+    return topology

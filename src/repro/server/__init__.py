@@ -1,0 +1,8 @@
+"""Video server layer: one :class:`~repro.server.video_server.VideoServer`
+per network node, combining the striped disk array, the DMA cache and
+stream admission control."""
+
+from repro.server.admission import AdmissionController
+from repro.server.video_server import VideoServer
+
+__all__ = ["AdmissionController", "VideoServer"]

@@ -1,0 +1,213 @@
+"""A video server at one network node.
+
+Combines the striped :class:`~repro.storage.array.DiskArray`, the
+:class:`~repro.core.dma.DiskManipulationAlgorithm` cache policy and an
+:class:`~repro.server.admission.AdmissionController`.  The database is kept
+in sync through the DMA's store/evict callbacks, so the VRA's
+"servers that have the video stored" list always reflects cache contents.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.core.dma import DiskManipulationAlgorithm, DmaResult
+from repro.database.records import TitleInfo
+from repro.database.store import ServiceDatabase
+from repro.errors import StorageError
+from repro.server.admission import AdmissionController
+from repro.storage.array import DiskArray
+from repro.storage.cache import PopularityTracker
+from repro.storage.video import VideoTitle
+
+
+class VideoServer:
+    """One node's video server.
+
+    Args:
+        node_uid: The network node this server runs on.
+        database: The shared service database (advertisements flow here).
+        disk_count: Number of disks in the array ("we propose the use of as
+            many disks as possible").
+        disk_capacity_mb: Capacity of each disk.
+        cluster_mb: Common striping cluster size ``c``.
+        max_streams: Concurrent streams the server will source.
+        evict_until_fits: Forwarded to the DMA (extension; default off).
+    """
+
+    def __init__(
+        self,
+        node_uid: str,
+        database: ServiceDatabase,
+        disk_count: int,
+        disk_capacity_mb: float,
+        cluster_mb: float,
+        max_streams: int = 32,
+        evict_until_fits: bool = False,
+        defer_dma_advertisements: bool = True,
+        pin_seeded: bool = False,
+    ):
+        self.node_uid = node_uid
+        self._database = database
+        self.array = DiskArray(disk_count, disk_capacity_mb, cluster_mb)
+        self.admission = AdmissionController(max_streams)
+        self.dma = DiskManipulationAlgorithm(
+            self.array,
+            tracker=PopularityTracker(),
+            on_store=self._advertise,
+            on_evict=self._withdraw,
+            evict_until_fits=evict_until_fits,
+        )
+        self.online = True
+        self.serve_count = 0
+        # A title the DMA stores during a request is only *bytes in flight*
+        # until that request's own download completes; deferral keeps it out
+        # of the catalog (and out of the VRA's holder list) until then.
+        self._defer_dma_advertisements = defer_dma_advertisements
+        self._seeding = False
+        self._pending_advertisements: Set[str] = set()
+        #: Seed-pinning extension: when True, titles loaded at
+        #: initialisation are exempt from cache eviction, so the network
+        #: never loses a title's last copy (Figure 2 alone offers no such
+        #: protection — see the failure-injection tests).
+        self.pin_seeded = pin_seeded
+
+    # ------------------------------------------------------------------ #
+    # cache-policy plumbing
+    # ------------------------------------------------------------------ #
+    def set_cache_policy(self, factory) -> None:
+        """Swap the DMA for a baseline cache policy.
+
+        Args:
+            factory: Callable ``factory(array, on_store, on_evict)``
+                returning an object with the DMA surface (``on_request``,
+                ``seed``) — e.g. the classes in
+                :mod:`repro.baselines.caching`.  Must be called before any
+                titles are seeded or requested, so the old policy holds no
+                state worth migrating.
+        """
+        self.dma = factory(self.array, self._advertise, self._withdraw)
+
+    # ------------------------------------------------------------------ #
+    # catalog
+    # ------------------------------------------------------------------ #
+    def seed_title(self, video: VideoTitle) -> None:
+        """Initialisation-phase load of a title declared by the admins.
+
+        Registers the title in the global catalog if needed, stores it on
+        the array and advertises it.
+
+        Raises:
+            StorageError: If the video does not fit on the array.
+        """
+        self._register_catalog_info(video)
+        self._seeding = True
+        try:
+            self.dma.seed(video)
+        finally:
+            self._seeding = False
+        if self.pin_seeded:
+            self.dma.pinned.add(video.title_id)
+
+    def has_title(self, title_id: str) -> bool:
+        """True if the full title is resident and servable (a DMA store
+        whose download is still in flight does not count)."""
+        return (
+            self.array.has_video(title_id)
+            and title_id not in self._pending_advertisements
+        )
+
+    def stored_title_ids(self) -> List[str]:
+        """Locally resident title ids, sorted."""
+        return self.array.stored_title_ids()
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    def can_provide(self, title_id: str) -> bool:
+        """The VRA poll answer: online, title resident, slot available."""
+        return self.online and self.has_title(title_id) and self.admission.has_capacity
+
+    def begin_serving(self, title_id: str) -> int:
+        """Admit one outgoing stream of a resident title.
+
+        Returns:
+            The admission lease to release when the stream ends.
+
+        Raises:
+            StorageError: If the title is not resident.
+            AdmissionError: If the server is at stream capacity.
+        """
+        if not self.has_title(title_id):
+            raise StorageError(
+                f"server {self.node_uid!r} asked to serve non-resident "
+                f"title {title_id!r}"
+            )
+        lease = self.admission.admit()
+        self.serve_count += 1
+        return lease
+
+    def end_serving(self, lease: int) -> None:
+        """Release a stream slot taken by :meth:`begin_serving`."""
+        self.admission.release(lease)
+
+    # ------------------------------------------------------------------ #
+    # DMA entry point
+    # ------------------------------------------------------------------ #
+    def on_download_begins(self, video: VideoTitle) -> DmaResult:
+        """Figure 2 trigger: "Server has begun downloading a video".
+
+        Called by the service whenever a client attached to this server
+        requests ``video`` (whether it is then served locally or fetched
+        from a remote server, the local server sees the download).
+        """
+        self._register_catalog_info(video)
+        return self.dma.on_request(video)
+
+    def commit_download(self, title_id: str) -> None:
+        """The deferred download of ``title_id`` completed: advertise it."""
+        if title_id in self._pending_advertisements:
+            self._pending_advertisements.discard(title_id)
+            self._database.add_title_to_server(self.node_uid, title_id)
+
+    def abort_download(self, title_id: str) -> None:
+        """The deferred download failed: drop the partial bytes silently."""
+        if title_id in self._pending_advertisements:
+            self._pending_advertisements.discard(title_id)
+            if self.array.has_video(title_id):
+                self.array.remove(title_id)
+
+    def pending_title_ids(self) -> List[str]:
+        """Titles stored by the DMA whose downloads are still in flight."""
+        return sorted(self._pending_advertisements)
+
+    # ------------------------------------------------------------------ #
+    def _register_catalog_info(self, video: VideoTitle) -> None:
+        self._database.register_title(
+            TitleInfo(
+                title_id=video.title_id,
+                name=video.name,
+                size_mb=video.size_mb,
+                duration_s=video.duration_s,
+                bitrate_mbps=video.bitrate_mbps,
+            )
+        )
+
+    def _advertise(self, title_id: str) -> None:
+        if self._defer_dma_advertisements and not self._seeding:
+            self._pending_advertisements.add(title_id)
+        else:
+            self._database.add_title_to_server(self.node_uid, title_id)
+
+    def _withdraw(self, title_id: str) -> None:
+        if title_id in self._pending_advertisements:
+            # Evicted before its download finished: it was never advertised.
+            self._pending_advertisements.discard(title_id)
+        else:
+            self._database.remove_title_from_server(self.node_uid, title_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"VideoServer({self.node_uid!r}, titles={len(self.stored_title_ids())}, "
+            f"streams={self.admission.active_count}/{self.admission.max_streams})"
+        )

@@ -1,0 +1,45 @@
+"""Event record used by the simulation engine.
+
+An :class:`Event` pairs a firing time with a callback.  Events are ordered by
+``(time, seq)`` where ``seq`` is a monotonically increasing sequence number,
+so two events scheduled for the same instant fire in FIFO order — a property
+the tests assert because stream bookkeeping depends on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Tuple
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: Simulated time at which the event fires.
+        seq: Tie-breaking sequence number (scheduling order).
+        callback: Zero-result callable invoked when the event fires.
+        args: Positional arguments passed to ``callback``.
+        name: Optional human-readable label used in traces and error text.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    name: str = ""
+
+    def sort_key(self) -> Tuple[float, int]:
+        """Key defining the engine's total order over events."""
+        return (self.time, self.seq)
+
+    def fire(self) -> Any:
+        """Invoke the callback with its stored arguments."""
+        return self.callback(*self.args)
+
+    def label(self) -> str:
+        """Readable label for traces: the explicit name or callback repr."""
+        if self.name:
+            return self.name
+        return getattr(self.callback, "__qualname__", repr(self.callback))

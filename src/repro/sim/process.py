@@ -1,0 +1,161 @@
+"""Generator-based cooperative processes on top of the event engine.
+
+A :class:`Process` wraps a generator that yields either
+
+* :class:`Delay` (or a bare non-negative number) — suspend for that long, or
+* :class:`WaitSignal` — suspend until a :class:`Signal` is triggered.
+
+This is the idiom used by long-lived actors in the simulation, e.g. a
+streaming session that alternates "download cluster" / "re-run VRA" steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import EventHandle, Simulator
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Yield value: suspend the process for ``duration`` simulated seconds."""
+
+    duration: float
+
+
+class Signal:
+    """A one-to-many wake-up condition.
+
+    Processes yield :class:`WaitSignal` on a signal; :meth:`trigger` resumes
+    every waiter at the current simulated time, passing ``payload`` back as
+    the value of the ``yield`` expression.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._waiters: List[Process] = []
+        self._trigger_count = 0
+
+    @property
+    def trigger_count(self) -> int:
+        """Number of times this signal has been triggered."""
+        return self._trigger_count
+
+    @property
+    def waiter_count(self) -> int:
+        """Number of processes currently blocked on this signal."""
+        return len(self._waiters)
+
+    def trigger(self, sim: Simulator, payload: Any = None) -> int:
+        """Wake all waiting processes via zero-delay events.
+
+        Returns:
+            The number of processes that were woken.
+        """
+        self._trigger_count += 1
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            sim.schedule(0.0, process._resume, payload, name=f"signal:{self.name}")
+        return len(waiters)
+
+    def _register(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+
+@dataclass(frozen=True)
+class WaitSignal:
+    """Yield value: suspend the process until ``signal`` is triggered."""
+
+    signal: Signal
+
+
+class Process:
+    """Drives a generator as a cooperative simulated process.
+
+    The generator's ``return`` value is captured in :attr:`result`; an
+    uncaught exception is captured in :attr:`error` and re-raised from
+    :meth:`check`.
+    """
+
+    def __init__(self, sim: Simulator, generator: Generator[Any, Any, Any], name: str = ""):
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"Process requires a generator, got {type(generator).__name__}")
+        self._sim = sim
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._finished = False
+        self._pending_handle: Optional[EventHandle] = None
+        self.finished_signal = Signal(name=f"{self.name}.finished")
+        # Kick off on the next zero-delay tick so construction never runs
+        # user code synchronously.
+        self._pending_handle = sim.schedule(0.0, self._resume, None, name=f"start:{self.name}")
+
+    @property
+    def finished(self) -> bool:
+        """True once the generator has returned or raised."""
+        return self._finished
+
+    def check(self) -> Any:
+        """Return the process result, re-raising any captured exception."""
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+    def interrupt(self) -> bool:
+        """Cancel the process's pending wake-up and finish it immediately.
+
+        Returns:
+            True if the process was running and is now interrupted.
+        """
+        if self._finished:
+            return False
+        if self._pending_handle is not None:
+            self._pending_handle.cancel()
+            self._pending_handle = None
+        self._generator.close()
+        self._finish()
+        return True
+
+    # ------------------------------------------------------------------ #
+    def _resume(self, payload: Any) -> None:
+        if self._finished:
+            return
+        self._pending_handle = None
+        try:
+            yielded = self._generator.send(payload)
+        except StopIteration as stop:
+            self.result = stop.value
+            self._finish()
+            return
+        except Exception as exc:  # capture, don't kill the event loop
+            self.error = exc
+            self._finish()
+            return
+        self._handle_yield(yielded)
+
+    def _handle_yield(self, yielded: Any) -> None:
+        if isinstance(yielded, Delay):
+            self._pending_handle = self._sim.schedule(
+                yielded.duration, self._resume, None, name=f"delay:{self.name}"
+            )
+        elif isinstance(yielded, (int, float)):
+            self._pending_handle = self._sim.schedule(
+                float(yielded), self._resume, None, name=f"delay:{self.name}"
+            )
+        elif isinstance(yielded, WaitSignal):
+            yielded.signal._register(self)
+        else:
+            self.error = SimulationError(
+                f"process {self.name} yielded unsupported value {yielded!r}; "
+                "yield a Delay, a number, or a WaitSignal"
+            )
+            self._generator.close()
+            self._finish()
+
+    def _finish(self) -> None:
+        self._finished = True
+        self.finished_signal.trigger(self._sim, self)

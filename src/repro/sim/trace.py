@@ -1,0 +1,108 @@
+"""Structured event tracing.
+
+A :class:`Tracer` collects timestamped, categorised events from anywhere
+in the service (VRA decisions, DMA actions, cluster deliveries, SNMP
+polls) for debugging and post-run analysis.  Tracing is opt-in and cheap:
+a disabled tracer discards events without formatting anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    Attributes:
+        time: Simulated time of the event.
+        category: Dotted category, e.g. ``"vra.decision"``.
+        message: Human-readable one-liner.
+        data: Structured payload for analysis code.
+    """
+
+    time: float
+    category: str
+    message: str
+    data: Dict[str, object]
+
+    def format(self) -> str:
+        """``[   123.4s] vra.decision  chose U4`` style line."""
+        return f"[{self.time:10.1f}s] {self.category:<18} {self.message}"
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records.
+
+    Args:
+        enabled: Disabled tracers drop events immediately.
+        capacity: Keep at most this many events (oldest dropped first);
+            None keeps everything.
+    """
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None):
+        self.enabled = enabled
+        self.capacity = capacity
+        self._events: List[TraceEvent] = []
+        self._dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def dropped_count(self) -> int:
+        """Events discarded due to the capacity bound."""
+        return self._dropped
+
+    def record(
+        self,
+        time: float,
+        category: str,
+        message: str,
+        **data: object,
+    ) -> None:
+        """Record one event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._events.append(
+            TraceEvent(time=time, category=category, message=message, data=data)
+        )
+        if self.capacity is not None and len(self._events) > self.capacity:
+            overflow = len(self._events) - self.capacity
+            del self._events[:overflow]
+            self._dropped += overflow
+
+    def events(self, category: Optional[str] = None) -> List[TraceEvent]:
+        """All events, optionally filtered by category prefix.
+
+        ``category="vra"`` matches ``"vra"`` and ``"vra.decision"`` but
+        not ``"vrawhatever"``.
+        """
+        if category is None:
+            return list(self._events)
+        prefix = category + "."
+        return [
+            event
+            for event in self._events
+            if event.category == category or event.category.startswith(prefix)
+        ]
+
+    def between(self, start: float, end: float) -> List[TraceEvent]:
+        """Events with start <= time < end."""
+        return [e for e in self._events if start <= e.time < end]
+
+    def categories(self) -> List[str]:
+        """Distinct categories recorded, sorted."""
+        return sorted({event.category for event in self._events})
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self._events.clear()
+        self._dropped = 0
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Formatted multi-line dump of the newest ``limit`` events."""
+        events = self._events if limit is None else self._events[-limit:]
+        return "\n".join(event.format() for event in events)

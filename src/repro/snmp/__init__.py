@@ -1,0 +1,27 @@
+"""Simulated SNMP statistics substrate.
+
+The paper's "SMNP statistics module" (read: SNMP) runs on every server and,
+every 1-2 minutes, inserts the utilisation of all links adjacent to the node
+into the limited-access database.  Here that becomes:
+
+* :mod:`repro.snmp.counters` — ifInOctets/ifOutOctets-style 32-bit wrapping
+  octet counters;
+* :mod:`repro.snmp.agent` — a per-node agent integrating link traffic into
+  those counters;
+* :mod:`repro.snmp.collector` — the periodic statistics module that polls
+  the agent, converts counter deltas to Mbps / utilisation per the paper's
+  eq. (5), and writes :class:`~repro.database.records.LinkStats` entries.
+"""
+
+from repro.snmp.agent import SnmpAgent
+from repro.snmp.collector import NodeStatisticsModule, StatisticsService
+from repro.snmp.counters import COUNTER32_MODULUS, OctetCounter, counter_delta
+
+__all__ = [
+    "COUNTER32_MODULUS",
+    "NodeStatisticsModule",
+    "OctetCounter",
+    "SnmpAgent",
+    "StatisticsService",
+    "counter_delta",
+]

@@ -1,0 +1,83 @@
+"""Per-node SNMP agent.
+
+An :class:`SnmpAgent` lives on one network node and exposes octet counters
+for every adjacent link — the view a real poller would get from the node's
+router.  Traffic is integrated from the link's current used bandwidth each
+time the agent is advanced, which matches how piecewise-constant rates
+evolve between simulation events.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import SnmpError
+from repro.network.link import Link
+from repro.network.topology import Topology
+from repro.snmp.counters import OctetCounter
+
+
+class SnmpAgent:
+    """Counter-bearing agent for one node's adjacent links.
+
+    In and out octets are modelled symmetrically (the link's used bandwidth
+    aggregates both directions, exactly as the paper's Table 2 reports one
+    traffic figure per link), so each direction carries half the traffic.
+    """
+
+    def __init__(self, topology: Topology, node_uid: str, start_time: float = 0.0):
+        topology.node(node_uid)  # validate
+        self._topology = topology
+        self.node_uid = node_uid
+        self._last_advance = float(start_time)
+        self._in_counters: Dict[str, OctetCounter] = {}
+        self._out_counters: Dict[str, OctetCounter] = {}
+        for link in topology.links_at(node_uid):
+            self._in_counters[link.name] = OctetCounter()
+            self._out_counters[link.name] = OctetCounter()
+
+    @property
+    def link_names(self) -> List[str]:
+        """Names of the links this agent instruments, sorted."""
+        return sorted(self._in_counters)
+
+    def advance(self, now: float) -> None:
+        """Integrate traffic at the links' current rates up to ``now``.
+
+        Raises:
+            SnmpError: If time moves backwards.
+        """
+        if now < self._last_advance:
+            raise SnmpError(
+                f"agent at {self.node_uid!r}: time went backwards "
+                f"({now} < {self._last_advance})"
+            )
+        elapsed = now - self._last_advance
+        self._last_advance = now
+        if elapsed == 0.0:
+            return
+        for link in self._topology.links_at(self.node_uid):
+            self._ensure_counters(link.name)
+            megabits = link.used_mbps * elapsed
+            # Split the aggregate figure evenly across the two directions.
+            self._in_counters[link.name].add_megabits(megabits / 2.0)
+            self._out_counters[link.name].add_megabits(megabits / 2.0)
+
+    def _ensure_counters(self, link_name: str) -> None:
+        """Lazily instrument links attached after the agent was created
+        (the service's runtime-expansion path adds interfaces)."""
+        if link_name not in self._in_counters:
+            self._in_counters[link_name] = OctetCounter()
+            self._out_counters[link_name] = OctetCounter()
+
+    def poll(self, now: float) -> Dict[str, Tuple[int, int]]:
+        """Advance to ``now`` and return {link name: (in octets, out octets)}.
+
+        This is the agent's whole SNMP surface: 32-bit counter values only,
+        never rates — rate recovery is the collector's job.
+        """
+        self.advance(now)
+        return {
+            name: (self._in_counters[name].value, self._out_counters[name].value)
+            for name in self._in_counters
+        }

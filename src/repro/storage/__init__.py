@@ -1,0 +1,27 @@
+"""Video-server storage substrate.
+
+Implements the paper's disk architecture (Figure 3): each server owns ``n``
+disks; every locally held video is cut into ``p = ceil(size / c)`` clusters
+of ``c`` MB and striped cyclically across the disks
+(:mod:`repro.storage.striping`, :mod:`repro.storage.array`).  Popularity
+bookkeeping for the DMA's "most popular" concept lives in
+:mod:`repro.storage.cache`.
+"""
+
+from repro.storage.array import DiskArray
+from repro.storage.cache import PopularityTracker
+from repro.storage.disk import Disk, StoredCluster
+from repro.storage.striping import StripingLayout, cluster_count, cluster_sizes, striping_layout
+from repro.storage.video import VideoTitle
+
+__all__ = [
+    "Disk",
+    "DiskArray",
+    "PopularityTracker",
+    "StoredCluster",
+    "StripingLayout",
+    "VideoTitle",
+    "cluster_count",
+    "cluster_sizes",
+    "striping_layout",
+]

@@ -1,0 +1,167 @@
+"""Disk array with cyclic striping (the paper's Figure 3 architecture).
+
+A :class:`DiskArray` owns ``n`` equal disks and a common cluster size ``c``.
+Storing a video computes its :class:`~repro.storage.striping.StripingLayout`
+and places every cluster atomically — a video is either fully resident or
+absent, which is the invariant the DMA's "Disks can tolerate the Video"
+check relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import StorageError, StripingError
+from repro.storage.disk import Disk, StoredCluster
+from repro.storage.striping import StripingLayout
+from repro.storage.video import VideoTitle
+
+
+class DiskArray:
+    """``n`` disks of equal capacity behind one striping policy."""
+
+    def __init__(self, disk_count: int, disk_capacity_mb: float, cluster_mb: float):
+        if disk_count < 1:
+            raise StripingError(f"disk count must be >= 1, got {disk_count}")
+        if not (cluster_mb > 0.0):
+            raise StripingError(f"cluster size must be positive, got {cluster_mb!r}")
+        if not (disk_capacity_mb > 0.0):
+            raise StorageError(f"disk capacity must be positive, got {disk_capacity_mb!r}")
+        self.cluster_mb = float(cluster_mb)
+        self._disks = [Disk(i, disk_capacity_mb) for i in range(disk_count)]
+        self._videos: Dict[str, VideoTitle] = {}
+        self._layouts: Dict[str, StripingLayout] = {}
+
+    # ------------------------------------------------------------------ #
+    # capacity
+    # ------------------------------------------------------------------ #
+    @property
+    def disk_count(self) -> int:
+        return len(self._disks)
+
+    @property
+    def total_capacity_mb(self) -> float:
+        """Aggregate capacity across all disks."""
+        return sum(d.capacity_mb for d in self._disks)
+
+    @property
+    def used_mb(self) -> float:
+        """Aggregate used space across all disks."""
+        return sum(d.used_mb for d in self._disks)
+
+    @property
+    def free_mb(self) -> float:
+        """Aggregate free space across all disks."""
+        return sum(d.free_mb for d in self._disks)
+
+    def disk(self, index: int) -> Disk:
+        """One disk by 0-based index.
+
+        Raises:
+            StorageError: If the index is out of range.
+        """
+        if not (0 <= index < len(self._disks)):
+            raise StorageError(f"disk index {index} out of range 0..{len(self._disks) - 1}")
+        return self._disks[index]
+
+    def disks(self) -> List[Disk]:
+        """All disks, in index order."""
+        return list(self._disks)
+
+    # ------------------------------------------------------------------ #
+    # videos
+    # ------------------------------------------------------------------ #
+    def layout_for(self, video: VideoTitle) -> StripingLayout:
+        """The striping layout storing ``video`` would use."""
+        return StripingLayout.for_video(
+            video.title_id, video.size_mb, self.cluster_mb, self.disk_count
+        )
+
+    def can_store(self, video: VideoTitle) -> bool:
+        """The DMA's "Disks can tolerate the Video" predicate: every disk has
+        room for its share of the video's clusters."""
+        if video.title_id in self._videos:
+            return False
+        layout = self.layout_for(video)
+        for disk_index, needed_mb in layout.per_disk_mb().items():
+            if needed_mb > self._disks[disk_index].free_mb + 1e-9:
+                return False
+        return True
+
+    def store(self, video: VideoTitle) -> StripingLayout:
+        """Stripe a video onto the disks ("Write Video to Disks").
+
+        Raises:
+            StorageError: If the video is already stored or does not fit;
+                on failure no cluster is left behind.
+        """
+        if video.title_id in self._videos:
+            raise StorageError(f"video {video.title_id!r} is already stored")
+        if not self.can_store(video):
+            raise StorageError(
+                f"video {video.title_id!r} ({video.size_mb:.1f} MB) does not "
+                f"fit on the array (free={self.free_mb:.1f} MB)"
+            )
+        layout = self.layout_for(video)
+        for cluster_index, disk_index, size_mb in layout.assignments:
+            self._disks[disk_index].store(
+                StoredCluster(video.title_id, cluster_index, size_mb)
+            )
+        self._videos[video.title_id] = video
+        self._layouts[video.title_id] = layout
+        return layout
+
+    def remove(self, title_id: str) -> VideoTitle:
+        """Remove a video and all its clusters ("Delete Least Popular Video").
+
+        Raises:
+            StorageError: If the video is not stored.
+        """
+        video = self._videos.pop(title_id, None)
+        if video is None:
+            raise StorageError(f"video {title_id!r} is not stored on this array")
+        layout = self._layouts.pop(title_id)
+        for cluster_index, disk_index, _ in layout.assignments:
+            self._disks[disk_index].remove(title_id, cluster_index)
+        return video
+
+    def has_video(self, title_id: str) -> bool:
+        """True if the full video is resident."""
+        return title_id in self._videos
+
+    def video(self, title_id: str) -> VideoTitle:
+        """The stored video object.
+
+        Raises:
+            StorageError: If the video is not stored.
+        """
+        try:
+            return self._videos[title_id]
+        except KeyError:
+            raise StorageError(f"video {title_id!r} is not stored on this array") from None
+
+    def layout(self, title_id: str) -> StripingLayout:
+        """The layout of a stored video.
+
+        Raises:
+            StorageError: If the video is not stored.
+        """
+        try:
+            return self._layouts[title_id]
+        except KeyError:
+            raise StorageError(f"video {title_id!r} is not stored on this array") from None
+
+    def stored_title_ids(self) -> List[str]:
+        """Ids of fully resident videos, sorted."""
+        return sorted(self._videos)
+
+    def stored_videos(self) -> List[VideoTitle]:
+        """Resident video objects, sorted by id."""
+        return [self._videos[tid] for tid in self.stored_title_ids()]
+
+    def __repr__(self) -> str:
+        return (
+            f"DiskArray(disks={self.disk_count}, cluster={self.cluster_mb:g} MB, "
+            f"videos={len(self._videos)}, used={self.used_mb:.1f}/"
+            f"{self.total_capacity_mb:.1f} MB)"
+        )

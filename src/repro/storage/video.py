@@ -1,0 +1,55 @@
+"""Video title model for the storage layer.
+
+The DMA and the striping math never look at video *content*; a title is its
+id plus size, duration and playback bitrate.  (The database layer has its
+own user-facing record, :class:`repro.database.records.TitleInfo`; keeping
+the storage model separate preserves the substrate layering.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VideoTitle:
+    """A video title as the storage and streaming layers see it.
+
+    Attributes:
+        title_id: Stable identifier.
+        name: Display name (defaults to the id).
+        size_mb: Total size in megabytes.
+        duration_s: Playback duration in seconds.
+        bitrate_mbps: Playback rate in megabits/second; defaults to the
+            rate implied by size over duration.
+    """
+
+    title_id: str
+    size_mb: float
+    duration_s: float
+    name: str = ""
+    bitrate_mbps: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.title_id:
+            raise ValueError("title_id must be non-empty")
+        if not (self.size_mb > 0.0):
+            raise ValueError(f"video size must be positive, got {self.size_mb!r}")
+        if not (self.duration_s > 0.0):
+            raise ValueError(f"video duration must be positive, got {self.duration_s!r}")
+        if not self.name:
+            object.__setattr__(self, "name", self.title_id)
+        if self.bitrate_mbps <= 0.0:
+            object.__setattr__(
+                self, "bitrate_mbps", self.size_mb * 8.0 / self.duration_s
+            )
+
+    def cluster_count(self, cluster_mb: float) -> int:
+        """Number of striping clusters at cluster size ``cluster_mb``."""
+        from repro.storage.striping import cluster_count
+
+        return cluster_count(self.size_mb, cluster_mb)
+
+    def playback_seconds_per_mb(self) -> float:
+        """Seconds of playback carried by one megabyte of the video."""
+        return self.duration_s / self.size_mb

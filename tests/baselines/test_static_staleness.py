@@ -1,0 +1,40 @@
+"""Behavioural contrast: StaticNearestSelection's frozen tables vs the
+adaptive policies when the network changes after deployment."""
+
+import pytest
+
+from repro.baselines.selection import MinHopSelection, StaticNearestSelection
+from repro.errors import RoutingError
+from repro.network.link import Link
+from repro.network.node import Node
+
+
+class TestFrozenTables:
+    def test_static_tables_ignore_links_added_later(self, grnet_8am):
+        static = StaticNearestSelection(grnet_8am)
+        minhop = MinHopSelection(grnet_8am)
+        # A new shortcut U2-U5 appears after installation.
+        grnet_8am.add_node(Node("X0"))  # unrelated node keeps graph valid
+        grnet_8am.add_link(Link("X0", "U2", capacity_mbps=2.0, name="X0-U2"))
+        grnet_8am.add_link(Link("U2", "U5", capacity_mbps=10.0, name="shortcut"))
+        # Min-hop (recomputed per decision) uses the 1-hop shortcut...
+        assert minhop.decide("U2", "m", holders=["U5"]).path.hop_count == 1
+        # ...the static tables still route the long way.
+        assert static.decide("U2", "m", holders=["U5"]).path.hop_count == 3
+
+    def test_static_tables_survive_for_unchanged_routes(self, grnet_8am):
+        static = StaticNearestSelection(grnet_8am)
+        decision = static.decide("U2", "m", holders=["U1"])
+        assert decision.path.nodes == ("U2", "U1")
+
+    def test_static_tables_ignore_link_failures(self, grnet_8am):
+        # The dangerous half of frozen routing: it happily routes into a
+        # dead link (the decision is made; the transfer would fail).
+        static = StaticNearestSelection(grnet_8am)
+        before = static.decide("U2", "m", holders=["U3"]).path.nodes
+        grnet_8am.link_named("Patra-Ioannina").online = False
+        after = static.decide("U2", "m", holders=["U3"]).path.nodes
+        assert after == before  # blind to the failure
+        # The adaptive min-hop reroutes around it.
+        adaptive = MinHopSelection(grnet_8am).decide("U2", "m", holders=["U3"])
+        assert adaptive.path.nodes == ("U2", "U1", "U4", "U3")

@@ -1,0 +1,35 @@
+"""Unit tests for the client model."""
+
+import pytest
+
+from repro.client.client import Client
+from repro.errors import ServiceError
+
+
+class TestClient:
+    def test_subnet_is_first_three_octets(self):
+        assert Client("c", "10.2.0.17").subnet == "10.2.0"
+
+    def test_resolve_home(self):
+        client = Client("c", "10.2.0.17")
+        assert client.resolve_home({"10.2.0": "U2"}) == "U2"
+
+    def test_resolve_unknown_subnet_raises(self):
+        client = Client("c", "192.168.1.5")
+        with pytest.raises(ServiceError):
+            client.resolve_home({"10.2.0": "U2"})
+
+    def test_invalid_address_rejected(self):
+        with pytest.raises(ServiceError):
+            Client("c", "10.2.0")
+        with pytest.raises(ServiceError):
+            Client("c", "not-an-ip")
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ServiceError):
+            Client("", "10.0.0.1")
+
+    def test_frozen(self):
+        client = Client("c", "10.0.0.1")
+        with pytest.raises(AttributeError):
+            client.address = "10.0.0.2"  # type: ignore[misc]

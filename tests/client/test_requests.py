@@ -1,0 +1,42 @@
+"""Unit tests for the request lifecycle."""
+
+from repro.client.requests import RequestStatus, VideoRequest
+
+
+def make_request() -> VideoRequest:
+    return VideoRequest(client_id="c", home_uid="U2", title_id="t", submitted_at=5.0)
+
+
+class TestLifecycle:
+    def test_starts_pending(self):
+        request = make_request()
+        assert request.status is RequestStatus.PENDING
+        assert not request.finished
+
+    def test_streaming_transition(self):
+        request = make_request()
+        request.mark_streaming()
+        assert request.status is RequestStatus.STREAMING
+        assert not request.finished
+
+    def test_completed_is_terminal(self):
+        request = make_request()
+        request.mark_streaming()
+        request.mark_completed()
+        assert request.status is RequestStatus.COMPLETED
+        assert request.finished
+        assert request.failure_reason is None
+
+    def test_failed_records_reason(self):
+        request = make_request()
+        request.mark_failed("no source")
+        assert request.status is RequestStatus.FAILED
+        assert request.finished
+        assert request.failure_reason == "no source"
+
+    def test_request_ids_unique_and_increasing(self):
+        a, b = make_request(), make_request()
+        assert b.request_id > a.request_id
+
+    def test_submitted_at_recorded(self):
+        assert make_request().submitted_at == 5.0

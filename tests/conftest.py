@@ -1,0 +1,84 @@
+"""Shared fixtures: topologies, videos and service setups used across the
+test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.service import ServiceConfig, VoDService
+from repro.network.grnet import apply_traffic_sample, build_grnet_topology
+from repro.network.link import Link
+from repro.network.node import Node
+from repro.network.topology import Topology
+from repro.sim.engine import Simulator
+from repro.storage.video import VideoTitle
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator at t=0."""
+    return Simulator()
+
+
+@pytest.fixture
+def grnet() -> Topology:
+    """The paper's Figure 6 GRNET backbone, idle."""
+    return build_grnet_topology()
+
+
+@pytest.fixture
+def grnet_8am() -> Topology:
+    """GRNET loaded with the 8am Table 2 sample."""
+    topology = build_grnet_topology()
+    apply_traffic_sample(topology, "8am")
+    return topology
+
+
+@pytest.fixture
+def triangle() -> Topology:
+    """Minimal 3-node triangle: A-B (10 Mb), B-C (10 Mb), A-C (2 Mb)."""
+    topology = Topology(name="triangle")
+    for uid in ("A", "B", "C"):
+        topology.add_node(Node(uid=uid))
+    topology.add_link(Link("A", "B", capacity_mbps=10.0))
+    topology.add_link(Link("B", "C", capacity_mbps=10.0))
+    topology.add_link(Link("A", "C", capacity_mbps=2.0))
+    return topology
+
+
+@pytest.fixture
+def line() -> Topology:
+    """4-node line: A-B-C-D, all 10 Mb."""
+    topology = Topology(name="line")
+    for uid in ("A", "B", "C", "D"):
+        topology.add_node(Node(uid=uid))
+    topology.add_link(Link("A", "B", capacity_mbps=10.0))
+    topology.add_link(Link("B", "C", capacity_mbps=10.0))
+    topology.add_link(Link("C", "D", capacity_mbps=10.0))
+    return topology
+
+
+@pytest.fixture
+def small_video() -> VideoTitle:
+    """A 100 MB / 10-minute video (bitrate ~1.33 Mbps)."""
+    return VideoTitle("small", size_mb=100.0, duration_s=600.0)
+
+
+@pytest.fixture
+def movie() -> VideoTitle:
+    """A 900 MB / 90-minute feature (bitrate ~1.33 Mbps)."""
+    return VideoTitle("movie", size_mb=900.0, duration_s=5400.0)
+
+
+@pytest.fixture
+def grnet_service(grnet_8am: Topology) -> VoDService:
+    """A service on loaded GRNET with small disks and fast SNMP."""
+    simulator = Simulator(start_time=8 * 3600.0)
+    config = ServiceConfig(
+        cluster_mb=50.0,
+        disk_count=2,
+        disk_capacity_mb=500.0,
+        snmp_period_s=60.0,
+        use_reported_stats=False,
+    )
+    return VoDService(simulator, grnet_8am, config)

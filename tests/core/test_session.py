@@ -1,0 +1,192 @@
+"""Unit tests for the per-cluster streaming session."""
+
+import pytest
+
+from repro.client.requests import RequestStatus, VideoRequest
+from repro.core.session import StreamingSession
+from repro.core.vra import VraDecision
+from repro.errors import RoutingError
+from repro.network.flows import FlowManager
+from repro.network.routing.paths import Path
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+from repro.storage.video import VideoTitle
+
+
+def make_decision(nodes, cost=0.1):
+    path = Path(nodes=tuple(nodes), cost=cost)
+    return VraDecision(
+        title_id="v",
+        home_uid=nodes[0],
+        chosen_uid=nodes[-1],
+        served_locally=len(nodes) == 1,
+        path=path,
+    )
+
+
+def run_session(line, decide, video=None, cluster_mb=25.0, local_read_mbps=100.0):
+    sim = Simulator()
+    flows = FlowManager(line)
+    video = video or VideoTitle("v", size_mb=100.0, duration_s=800.0)  # 1 Mbps
+    request = VideoRequest(client_id="c", home_uid="A", title_id="v", submitted_at=sim.now)
+    session = StreamingSession(
+        sim=sim,
+        request=request,
+        video=video,
+        cluster_mb=cluster_mb,
+        decide=decide,
+        flows=flows,
+        servers={},
+        local_read_mbps=local_read_mbps,
+    )
+    process = Process(sim, session.run(), name="test-session")
+    sim.run()
+    return session.record, process, sim, flows
+
+
+class TestDelivery:
+    def test_all_clusters_delivered_in_order(self, line):
+        record, _, _, _ = run_session(line, lambda: make_decision(["A", "B", "C"]))
+        assert record.request.status is RequestStatus.COMPLETED
+        assert [c.index for c in record.clusters] == [0, 1, 2, 3]
+        assert sum(c.size_mb for c in record.clusters) == pytest.approx(100.0)
+
+    def test_transfer_time_matches_rate(self, line):
+        # 100 MB at 1 Mbps bitrate = 800 s total.
+        record, _, sim, _ = run_session(line, lambda: make_decision(["A", "B"]))
+        assert record.completed_at == pytest.approx(800.0)
+        assert sim.now == pytest.approx(800.0)
+
+    def test_local_serve_uses_disk_rate(self, line):
+        # 100 MB at 100 Mbps = 8 s.
+        record, _, _, _ = run_session(line, lambda: make_decision(["A"]))
+        assert record.completed_at == pytest.approx(8.0)
+        assert all(c.rate_mbps == 100.0 for c in record.clusters)
+        assert record.servers_used == ["A"]
+
+    def test_flows_reserved_during_transfer_and_released_after(self, line):
+        states = []
+
+        def decide():
+            states.append(line.link_between("A", "B").reserved_mbps)
+            return make_decision(["A", "B"])
+
+        record, _, _, flows = run_session(line, decide)
+        # At each decide() call the previous cluster's flow was released.
+        assert all(r == 0.0 for r in states)
+        assert flows.active_count == 0
+        assert record.completed
+
+    def test_startup_delay_is_first_cluster_time(self, line):
+        record, _, _, _ = run_session(line, lambda: make_decision(["A", "B"]))
+        # 25 MB at 1 Mbps = 200 s.
+        assert record.startup_delay_s == pytest.approx(200.0)
+
+    def test_no_stall_when_bandwidth_sufficient(self, line):
+        record, _, _, _ = run_session(line, lambda: make_decision(["A", "B"]))
+        assert record.stall_s == pytest.approx(0.0)
+
+
+class TestSwitching:
+    def test_switch_counted_when_server_changes(self, line):
+        decisions = iter(
+            [
+                make_decision(["A", "B"]),
+                make_decision(["A", "B"]),
+                make_decision(["A", "B", "C"]),
+                make_decision(["A", "B", "C"]),
+            ]
+        )
+        record, _, _, _ = run_session(line, lambda: next(decisions))
+        assert record.switch_count == 1
+        assert record.servers_used == ["B", "C"]
+        assert [c.switched for c in record.clusters] == [False, False, True, False]
+
+    def test_no_switch_when_server_stable(self, line):
+        record, _, _, _ = run_session(line, lambda: make_decision(["A", "B"]))
+        assert record.switch_count == 0
+
+    def test_cluster_size_sets_decision_granularity(self, line):
+        calls = []
+
+        def decide():
+            calls.append(True)
+            return make_decision(["A", "B"])
+
+        run_session(line, decide, cluster_mb=10.0)  # 10 clusters
+        assert len(calls) == 10
+
+
+class TestDegradation:
+    def test_congested_path_degrades_rate_and_flags_qos(self, line):
+        line.link_between("A", "B").set_background_mbps(9.5)  # 0.5 Mbps free
+        record, _, _, _ = run_session(line, lambda: make_decision(["A", "B"]))
+        assert record.completed
+        assert record.qos_violation_count == len(record.clusters)
+        assert all(c.rate_mbps == pytest.approx(0.5) for c in record.clusters)
+        assert record.stall_s > 0.0
+
+    def test_fully_saturated_path_uses_floor_rate(self, line):
+        line.link_between("A", "B").set_background_mbps(10.0)
+        video = VideoTitle("v", size_mb=1.0, duration_s=8.0)  # tiny, 1 Mbps
+        record, _, _, _ = run_session(line, lambda: make_decision(["A", "B"]), video=video)
+        assert record.completed
+        assert all(c.rate_mbps == pytest.approx(0.05) for c in record.clusters)
+
+    def test_decide_failure_fails_request(self, line):
+        def decide():
+            raise RoutingError("no candidates")
+
+        record, process, _, _ = run_session(line, decide)
+        assert record.request.status is RequestStatus.FAILED
+        assert "no candidates" in record.request.failure_reason
+        assert record.clusters == []
+        assert process.finished
+
+    def test_mid_stream_failure_keeps_partial_clusters(self, line):
+        calls = {"n": 0}
+
+        def decide():
+            calls["n"] += 1
+            if calls["n"] > 2:
+                raise RoutingError("source died")
+            return make_decision(["A", "B"])
+
+        record, _, _, flows = run_session(line, decide)
+        assert record.request.status is RequestStatus.FAILED
+        assert len(record.clusters) == 2
+        assert flows.active_count == 0  # nothing leaked
+
+
+class TestPlaybackMetrics:
+    def test_stall_accounts_for_late_clusters(self, line):
+        # First cluster fast (local), rest slow (remote congested) --
+        # playback must out-run the downloads and stall.
+        line.link_between("A", "B").set_background_mbps(9.0)  # 1 Mbps free
+        decisions = iter(
+            [make_decision(["A"])] + [make_decision(["A", "B"])] * 3
+        )
+        video = VideoTitle("v", size_mb=100.0, duration_s=100.0)  # 8 Mbps playback
+        record, _, _, _ = run_session(line, lambda: next(decisions), video=video)
+        assert record.completed
+        assert record.stall_s > 0.0
+
+    def test_on_finish_callback_receives_record(self, line):
+        sim = Simulator()
+        flows = FlowManager(line)
+        video = VideoTitle("v", size_mb=50.0, duration_s=400.0)
+        request = VideoRequest(client_id="c", home_uid="A", title_id="v", submitted_at=0.0)
+        finished = []
+        session = StreamingSession(
+            sim=sim,
+            request=request,
+            video=video,
+            cluster_mb=25.0,
+            decide=lambda: make_decision(["A", "B"]),
+            flows=flows,
+            servers={},
+            on_finish=finished.append,
+        )
+        Process(sim, session.run())
+        sim.run()
+        assert finished == [session.record]

@@ -1,0 +1,120 @@
+"""Unit tests for the Virtual Routing Algorithm (paper Figure 5)."""
+
+import pytest
+
+from repro.core.vra import VirtualRoutingAlgorithm
+from repro.errors import RoutingError, TitleUnavailableError
+
+
+class TestLocalShortcut:
+    def test_home_holder_serves_locally(self, grnet_8am):
+        vra = VirtualRoutingAlgorithm(grnet_8am)
+        decision = vra.decide("U2", "movie", holders=["U2", "U4"])
+        assert decision.served_locally
+        assert decision.chosen_uid == "U2"
+        assert decision.path.nodes == ("U2",)
+        assert decision.cost == 0.0
+        assert decision.dijkstra_result is None
+
+    def test_home_holder_that_polls_out_is_skipped(self, grnet_8am):
+        vra = VirtualRoutingAlgorithm(grnet_8am)
+        decision = vra.decide(
+            "U2", "movie", holders=["U2", "U4"], poll=lambda uid: uid != "U2"
+        )
+        assert not decision.served_locally
+        assert decision.chosen_uid == "U4"
+
+
+class TestRemoteSelection:
+    def test_picks_cheapest_candidate(self, grnet_8am):
+        vra = VirtualRoutingAlgorithm(grnet_8am)
+        decision = vra.decide("U2", "movie", holders=["U4", "U5"])
+        # Experiment A corrected: U4 via U2,U3,U4 (~0.218) beats U5 (~0.316).
+        assert decision.chosen_uid == "U4"
+        assert decision.path.nodes == ("U2", "U3", "U4")
+        assert decision.cost == pytest.approx(0.2178, abs=1e-3)
+
+    def test_candidate_paths_cover_all_available(self, grnet_8am):
+        vra = VirtualRoutingAlgorithm(grnet_8am)
+        decision = vra.decide("U1", "movie", holders=["U3", "U4", "U5"])
+        assert set(decision.candidate_paths) == {"U3", "U4", "U5"}
+        assert all(path.source == "U1" for path in decision.candidate_paths.values())
+
+    def test_download_route_reverses_path(self, grnet_8am):
+        vra = VirtualRoutingAlgorithm(grnet_8am)
+        decision = vra.decide("U2", "movie", holders=["U5"])
+        assert decision.download_route().nodes == tuple(reversed(decision.path.nodes))
+
+    def test_poll_excludes_candidates(self, grnet_8am):
+        vra = VirtualRoutingAlgorithm(grnet_8am)
+        decision = vra.decide(
+            "U2", "movie", holders=["U4", "U5"], poll=lambda uid: uid != "U4"
+        )
+        assert decision.chosen_uid == "U5"
+        assert decision.polled_out == ("U4",)
+
+    def test_weights_recorded_in_decision(self, grnet_8am):
+        vra = VirtualRoutingAlgorithm(grnet_8am)
+        decision = vra.decide("U2", "movie", holders=["U4"])
+        assert set(decision.weights) == {link.name for link in grnet_8am.links()}
+
+    def test_cost_tie_broken_by_uid(self, grnet):
+        # Idle network: all weights zero, every path costs 0.
+        vra = VirtualRoutingAlgorithm(grnet)
+        decision = vra.decide("U2", "movie", holders=["U5", "U4"])
+        assert decision.chosen_uid == "U4"
+
+    def test_decision_count_increments(self, grnet_8am):
+        vra = VirtualRoutingAlgorithm(grnet_8am)
+        vra.decide("U2", "m", holders=["U4"])
+        vra.decide("U2", "m", holders=["U2"])
+        assert vra.decision_count == 2
+
+
+class TestErrors:
+    def test_no_holders_raises_title_unavailable(self, grnet_8am):
+        vra = VirtualRoutingAlgorithm(grnet_8am)
+        with pytest.raises(TitleUnavailableError):
+            vra.decide("U2", "ghost", holders=[])
+
+    def test_all_candidates_poll_out(self, grnet_8am):
+        vra = VirtualRoutingAlgorithm(grnet_8am)
+        with pytest.raises(RoutingError):
+            vra.decide("U2", "movie", holders=["U4", "U5"], poll=lambda _uid: False)
+
+    def test_home_only_holder_polling_out(self, grnet_8am):
+        vra = VirtualRoutingAlgorithm(grnet_8am)
+        with pytest.raises(RoutingError):
+            vra.decide("U2", "movie", holders=["U2"], poll=lambda _uid: False)
+
+
+class TestConfiguration:
+    def test_custom_used_of_changes_decision(self, grnet):
+        # Ground truth idle; a reporter claiming Patra-Ioannina is slammed
+        # must push the decision onto the Athens route.
+        def reported(link):
+            return link.capacity_mbps * (0.95 if link.name == "Patra-Ioannina" else 0.01)
+
+        vra = VirtualRoutingAlgorithm(grnet, used_of=reported)
+        decision = vra.decide("U2", "movie", holders=["U4"])
+        assert decision.path.nodes == ("U2", "U1", "U4")
+
+    def test_normalization_constant_scales_lu(self, grnet_8am):
+        table_k10 = VirtualRoutingAlgorithm(grnet_8am).weights()
+        table_k5 = VirtualRoutingAlgorithm(
+            grnet_8am, normalization_constant=5.0
+        ).weights()
+        for name in table_k10:
+            assert table_k5[name] >= table_k10[name]
+
+    def test_trace_mode_records_steps(self, grnet_8am):
+        vra = VirtualRoutingAlgorithm(grnet_8am, trace=True)
+        decision = vra.decide("U2", "movie", holders=["U4", "U5"])
+        assert decision.dijkstra_result is not None
+        assert len(decision.dijkstra_result.steps) == grnet_8am.node_count
+
+    def test_no_trace_by_default(self, grnet_8am):
+        decision = VirtualRoutingAlgorithm(grnet_8am).decide(
+            "U2", "movie", holders=["U4"]
+        )
+        assert decision.dijkstra_result.steps == []

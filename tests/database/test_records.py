@@ -1,0 +1,62 @@
+"""Unit tests for the database entry types."""
+
+import pytest
+
+from repro.database.records import LinkEntry, LinkStats, ServerEntry, TitleInfo
+
+
+class TestTitleInfo:
+    def test_bitrate_defaults_from_size_and_duration(self):
+        info = TitleInfo("t1", "Title", size_mb=900.0, duration_s=5400.0)
+        assert info.bitrate_mbps == pytest.approx(900 * 8 / 5400)
+
+    def test_explicit_bitrate_kept(self):
+        info = TitleInfo("t1", "Title", size_mb=900.0, duration_s=5400.0, bitrate_mbps=2.0)
+        assert info.bitrate_mbps == 2.0
+
+    def test_invalid_fields_rejected(self):
+        with pytest.raises(ValueError):
+            TitleInfo("", "x", 1.0, 1.0)
+        with pytest.raises(ValueError):
+            TitleInfo("t", "x", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            TitleInfo("t", "x", 1.0, -2.0)
+
+    def test_frozen_and_comparable(self):
+        a = TitleInfo("t1", "Title", 100.0, 600.0)
+        b = TitleInfo("t1", "Title", 100.0, 600.0)
+        assert a == b
+
+
+class TestServerEntry:
+    def test_defaults(self):
+        entry = ServerEntry("U1")
+        assert entry.online
+        assert entry.title_ids == set()
+        assert entry.config_version == 0
+
+    def test_invalid_entries_rejected(self):
+        with pytest.raises(ValueError):
+            ServerEntry("")
+        with pytest.raises(ValueError):
+            ServerEntry("U1", disk_count=0)
+
+
+class TestLinkEntry:
+    def test_defaults_before_first_sample(self):
+        entry = LinkEntry("A-B", ("A", "B"), total_bandwidth_mbps=2.0)
+        assert entry.latest_stats is None
+        assert entry.used_mbps == 0.0
+        assert entry.utilization == 0.0
+
+    def test_stats_reflected(self):
+        entry = LinkEntry("A-B", ("A", "B"), total_bandwidth_mbps=2.0)
+        entry.latest_stats = LinkStats(used_mbps=1.0, utilization=0.5, timestamp=60.0)
+        assert entry.used_mbps == 1.0
+        assert entry.utilization == 0.5
+
+    def test_invalid_entries_rejected(self):
+        with pytest.raises(ValueError):
+            LinkEntry("", ("A", "B"), 2.0)
+        with pytest.raises(ValueError):
+            LinkEntry("A-B", ("A", "B"), 0.0)

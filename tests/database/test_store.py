@@ -1,0 +1,129 @@
+"""Unit tests for the service database."""
+
+import pytest
+
+from repro.database.records import LinkEntry, LinkStats, ServerEntry, TitleInfo
+from repro.database.store import ServiceDatabase
+from repro.errors import DuplicateEntryError, MissingEntryError
+
+
+@pytest.fixture
+def db() -> ServiceDatabase:
+    database = ServiceDatabase()
+    database.register_server(ServerEntry("U1"))
+    database.register_server(ServerEntry("U2"))
+    database.register_link(LinkEntry("U1-U2", ("U1", "U2"), total_bandwidth_mbps=2.0))
+    database.register_title(TitleInfo("t1", "First Movie", 900.0, 5400.0))
+    database.register_title(TitleInfo("t2", "Second Movie", 700.0, 5400.0))
+    return database
+
+
+class TestRegistration:
+    def test_duplicate_server_rejected(self, db):
+        with pytest.raises(DuplicateEntryError):
+            db.register_server(ServerEntry("U1"))
+
+    def test_duplicate_link_rejected(self, db):
+        with pytest.raises(DuplicateEntryError):
+            db.register_link(LinkEntry("U1-U2", ("U1", "U2"), total_bandwidth_mbps=2.0))
+
+    def test_identical_title_reregistration_is_noop(self, db):
+        db.register_title(TitleInfo("t1", "First Movie", 900.0, 5400.0))
+        assert len(db.list_titles()) == 2
+
+    def test_conflicting_title_rejected(self, db):
+        with pytest.raises(DuplicateEntryError):
+            db.register_title(TitleInfo("t1", "Different", 100.0, 600.0))
+
+    def test_server_with_initial_titles_indexed(self):
+        database = ServiceDatabase()
+        database.register_title(TitleInfo("t1", "Movie", 900.0, 5400.0))
+        database.register_server(ServerEntry("U1", title_ids={"t1"}))
+        assert database.servers_with_title("t1") == ["U1"]
+
+    def test_server_uids_sorted(self, db):
+        assert db.server_uids() == ["U1", "U2"]
+
+
+class TestCatalog:
+    def test_list_titles_sorted(self, db):
+        assert [t.title_id for t in db.list_titles()] == ["t1", "t2"]
+
+    def test_search_case_insensitive(self, db):
+        assert [t.title_id for t in db.search_titles("FIRST")] == ["t1"]
+        assert [t.title_id for t in db.search_titles("movie")] == ["t1", "t2"]
+        assert db.search_titles("zebra") == []
+
+    def test_title_info_unknown_raises(self, db):
+        with pytest.raises(MissingEntryError):
+            db.title_info("nope")
+
+    def test_has_title(self, db):
+        assert db.has_title("t1")
+        assert not db.has_title("zzz")
+
+
+class TestTitleLocations:
+    def test_add_and_remove_title(self, db):
+        db.add_title_to_server("U1", "t1")
+        db.add_title_to_server("U2", "t1")
+        assert db.servers_with_title("t1") == ["U1", "U2"]
+        db.remove_title_from_server("U1", "t1")
+        assert db.servers_with_title("t1") == ["U2"]
+
+    def test_add_is_idempotent(self, db):
+        db.add_title_to_server("U1", "t1")
+        db.add_title_to_server("U1", "t1")
+        assert db.servers_with_title("t1") == ["U1"]
+
+    def test_remove_unadvertised_raises(self, db):
+        with pytest.raises(MissingEntryError):
+            db.remove_title_from_server("U1", "t1")
+
+    def test_unknown_title_location_query_raises(self, db):
+        with pytest.raises(MissingEntryError):
+            db.servers_with_title("nope")
+
+    def test_add_unknown_title_raises(self, db):
+        with pytest.raises(MissingEntryError):
+            db.add_title_to_server("U1", "nope")
+
+    def test_add_to_unknown_server_raises(self, db):
+        with pytest.raises(MissingEntryError):
+            db.add_title_to_server("U9", "t1")
+
+    def test_server_title_ids_is_copy(self, db):
+        db.add_title_to_server("U1", "t1")
+        ids = db.server_title_ids("U1")
+        ids.add("t2")
+        assert db.server_title_ids("U1") == {"t1"}
+
+
+class TestMutations:
+    def test_update_link_stats(self, db):
+        stats = LinkStats(used_mbps=1.5, utilization=0.75, timestamp=60.0)
+        db.update_link_stats("U1-U2", stats)
+        assert db.link_entry("U1-U2").latest_stats == stats
+
+    def test_update_unknown_link_raises(self, db):
+        with pytest.raises(MissingEntryError):
+            db.update_link_stats("X-Y", LinkStats(1.0, 0.5, 0.0))
+
+    def test_update_server_config_bumps_version(self, db):
+        db.update_server_config("U1", max_streams=8, online=False)
+        entry = db.server_entry("U1")
+        assert entry.max_streams == 8
+        assert not entry.online
+        assert entry.config_version == 1
+
+    def test_update_protected_attribute_rejected(self, db):
+        with pytest.raises(MissingEntryError):
+            db.update_server_config("U1", title_ids=set())
+
+    def test_update_unknown_attribute_rejected(self, db):
+        with pytest.raises(MissingEntryError):
+            db.update_server_config("U1", nonsense=1)
+
+    def test_link_entries_sorted(self, db):
+        db.register_link(LinkEntry("A-B", ("A", "B"), total_bandwidth_mbps=1.0))
+        assert [e.link_name for e in db.link_entries()] == ["A-B", "U1-U2"]

@@ -1,0 +1,65 @@
+"""Unit tests for the ASCII report rendering."""
+
+from repro.experiments.casestudy import run_experiment
+from repro.experiments.report import (
+    render_dijkstra_trace,
+    render_experiment,
+    render_table,
+    render_table2,
+    render_table3,
+)
+
+
+class TestRenderTable:
+    def test_headers_and_rows_aligned(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert len({len(line) for line in lines}) == 1  # equal widths
+
+    def test_title_prepended(self):
+        text = render_table(["x"], [["1"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+
+class TestPaperTables:
+    def test_table2_mentions_every_link(self):
+        text = render_table2()
+        for name in (
+            "Patra-Athens",
+            "Patra-Ioannina",
+            "Thessaloniki-Athens",
+            "Thessaloniki-Xanthi",
+            "Thessaloniki-Ioannina",
+            "Athens-Heraklio",
+            "Xanthi-Heraklio",
+        ):
+            assert name in text
+
+    def test_table3_shows_ours_and_paper_values(self):
+        text = render_table3()
+        assert "0.0832 / 0.0830" in text  # Patra-Athens @8am
+        assert "Link Validation Numbers" in text
+
+    def test_dijkstra_trace_layout(self):
+        outcome = run_experiment("B")
+        text = render_dijkstra_trace(
+            outcome.decision.dijkstra_result.steps,
+            destinations=["U3", "U1", "U4", "U5", "U6"],
+            title="Table 5",
+        )
+        assert "Table 5" in text
+        assert "{U2}" in text  # step-1 settled set
+        assert "R" in text  # unreached marker
+        assert "U2,U1,U6,U5" in text
+
+    def test_experiment_report_includes_decision_and_erratum(self):
+        text = render_experiment(run_experiment("A"))
+        assert "download from U4" in text
+        assert "paper printed U5" in text
+        assert "Erratum" in text
+
+    def test_experiment_report_without_erratum(self):
+        text = render_experiment(run_experiment("C"))
+        assert "download from U3" in text
+        assert "Erratum" not in text

@@ -1,0 +1,177 @@
+"""Integration tests for runtime dynamics: link failures and network
+expansion while the service runs."""
+
+import pytest
+
+from repro.client.requests import RequestStatus
+from repro.core.service import ServiceConfig, VoDService
+from repro.network.grnet import apply_traffic_sample, build_grnet_topology
+from repro.network.link import Link
+from repro.network.node import Node
+from repro.sim.engine import Simulator
+from repro.storage.video import VideoTitle
+
+
+def make_service(**overrides):
+    defaults = dict(
+        cluster_mb=50.0,
+        disk_count=2,
+        disk_capacity_mb=2_000.0,
+        snmp_period_s=60.0,
+        use_reported_stats=False,
+    )
+    defaults.update(overrides)
+    sim = Simulator(start_time=8 * 3600.0)
+    topology = build_grnet_topology()
+    apply_traffic_sample(topology, "8am")
+    return VoDService(sim, topology, ServiceConfig(**defaults))
+
+
+def movie(title_id="m1", size_mb=400.0, duration_s=3600.0):
+    return VideoTitle(title_id, size_mb=size_mb, duration_s=duration_s)
+
+
+class TestLinkFailure:
+    def test_routing_avoids_failed_link(self, grnet_8am):
+        from repro.core.vra import VirtualRoutingAlgorithm
+
+        # Corrected Experiment A picks U2,U3,U4; fail Patra-Ioannina and
+        # the VRA must fall back to the Athens route.
+        grnet_8am.link_named("Patra-Ioannina").online = False
+        decision = VirtualRoutingAlgorithm(grnet_8am).decide(
+            "U2", "m", holders=["U4"]
+        )
+        assert decision.path.nodes == ("U2", "U1", "U4")
+
+    def test_partitioned_holder_unreachable(self, grnet_8am):
+        from repro.core.vra import VirtualRoutingAlgorithm
+        from repro.errors import RoutingError
+
+        # Cut both of Xanthi's links: U5 is unreachable.
+        grnet_8am.link_named("Thessaloniki-Xanthi").online = False
+        grnet_8am.link_named("Xanthi-Heraklio").online = False
+        with pytest.raises(RoutingError):
+            VirtualRoutingAlgorithm(grnet_8am).decide("U2", "m", holders=["U5"])
+
+    def test_session_reroutes_after_link_failure(self):
+        service = make_service()
+        service.seed_title("U4", movie())
+        _, session, _ = service.request_by_home("U2", "m1")
+
+        def cut_route():
+            service.topology.link_named("Patra-Ioannina").online = False
+
+        service.sim.schedule(1000.0, cut_route)
+        service.sim.run(until=service.sim.now + 4 * 3600.0)
+        record = session.record
+        assert record.completed
+        routes = {c.path_nodes for c in record.clusters}
+        assert ("U2", "U3", "U4") in routes  # before the cut
+        assert ("U2", "U1", "U4") in routes  # after the cut
+
+    def test_failed_link_excluded_from_node_validation(self, grnet_8am):
+        from repro.core.lvn import node_validation
+
+        before = node_validation(grnet_8am, "U1")
+        # Fail the hot Thessaloniki-Athens link; Athens' NV must now be
+        # computed over its two surviving links only.
+        grnet_8am.link_named("Thessaloniki-Athens").online = False
+        after = node_validation(grnet_8am, "U1")
+        expected = (0.2 + 0.5) / (2.0 + 18.0)
+        assert after == pytest.approx(expected)
+        assert after != pytest.approx(before)
+
+    def test_fully_isolated_node_validation_is_zero(self, grnet_8am):
+        from repro.core.lvn import node_validation
+
+        grnet_8am.link_named("Thessaloniki-Xanthi").online = False
+        grnet_8am.link_named("Xanthi-Heraklio").online = False
+        assert node_validation(grnet_8am, "U5") == 0.0
+
+    def test_link_recovery_restores_routes(self, grnet_8am):
+        from repro.core.vra import VirtualRoutingAlgorithm
+
+        link = grnet_8am.link_named("Patra-Ioannina")
+        link.online = False
+        vra = VirtualRoutingAlgorithm(grnet_8am)
+        assert vra.decide("U2", "m", holders=["U4"]).path.nodes == ("U2", "U1", "U4")
+        link.online = True
+        assert vra.decide("U2", "m", holders=["U4"]).path.nodes == ("U2", "U3", "U4")
+
+
+class TestRuntimeExpansion:
+    def test_new_server_joins_and_serves(self):
+        service = make_service()
+        service.start()
+        service.sim.run(until=service.sim.now + 100.0)
+
+        # Kalamata joins, hanging off Patra.
+        server = service.add_server(
+            Node("U7", name="Kalamata"),
+            [Link("U7", "U2", capacity_mbps=2.0, name="Kalamata-Patra")],
+        )
+        service.seed_title("U7", movie())
+        request, session, _ = service.request_by_home("U2", "m1")
+        service.sim.run(until=service.sim.now + 3 * 3600.0)
+        assert request.status is RequestStatus.COMPLETED
+        assert session.record.servers_used == ["U7"]
+        # One admission per cluster served.
+        assert server.serve_count == len(session.record.clusters)
+
+    def test_new_node_gets_snmp_coverage(self):
+        service = make_service(use_reported_stats=True)
+        service.start()
+        service.sim.run(until=service.sim.now + 100.0)
+        service.add_server(
+            Node("U7"), [Link("U7", "U2", capacity_mbps=2.0, name="New-Link")]
+        )
+        service.topology.link_named("New-Link").set_background_mbps(1.0)
+        service.sim.run(until=service.sim.now + 200.0)
+        entry = service.database.link_entry("New-Link")
+        assert entry.latest_stats is not None
+        assert entry.used_mbps == pytest.approx(1.0, rel=0.05)
+
+    def test_new_node_participates_in_routing(self):
+        service = make_service()
+        # U7 bridges Patra and Xanthi with fat idle links: the VRA should
+        # route U2 -> U5 through it.
+        service.add_server(
+            Node("U7"),
+            [
+                Link("U7", "U2", capacity_mbps=20.0, name="U2-U7"),
+                Link("U7", "U5", capacity_mbps=20.0, name="U5-U7"),
+            ],
+        )
+        service.seed_title("U5", movie())
+        decision = service.decide("U2", "m1")
+        assert decision.path.nodes == ("U2", "U7", "U5")
+
+    def test_expansion_validation(self):
+        service = make_service()
+        from repro.errors import ServiceError, TopologyError
+
+        with pytest.raises(ServiceError):
+            service.add_server(Node("U8"), [])
+        with pytest.raises(ServiceError):
+            service.add_server(
+                Node("U8"), [Link("U1", "U2", capacity_mbps=1.0, name="elsewhere")]
+            )
+        with pytest.raises(TopologyError):
+            service.add_server(
+                Node("U1"), [Link("U1", "U2", capacity_mbps=1.0, name="dup-node")]
+            )
+
+    def test_existing_agent_tracks_new_interface(self):
+        # The SNMP agent at the *existing* endpoint must pick up the new
+        # link without being rebuilt.
+        service = make_service(use_reported_stats=True)
+        service.start()
+        service.sim.run(until=service.sim.now + 70.0)  # agents already polled
+        service.add_server(
+            Node("U7"), [Link("U7", "U2", capacity_mbps=2.0, name="Fresh")]
+        )
+        service.topology.link_named("Fresh").set_background_mbps(0.5)
+        service.sim.run(until=service.sim.now + 200.0)
+        assert service.database.link_entry("Fresh").used_mbps == pytest.approx(
+            0.5, rel=0.1
+        )

@@ -1,0 +1,152 @@
+"""Integration tests: failures, saturation, and the DMA last-copy hazard."""
+
+import pytest
+
+from repro.client.requests import RequestStatus
+from repro.core.service import ServiceConfig, VoDService
+from repro.errors import RoutingError, TitleUnavailableError
+from repro.network.grnet import apply_traffic_sample, build_grnet_topology
+from repro.sim.engine import Simulator
+from repro.storage.video import VideoTitle
+
+
+def make_service(**config_overrides):
+    defaults = dict(
+        cluster_mb=50.0,
+        disk_count=2,
+        disk_capacity_mb=1_000.0,
+        snmp_period_s=60.0,
+        use_reported_stats=False,
+    )
+    defaults.update(config_overrides)
+    sim = Simulator(start_time=8 * 3600.0)
+    topology = build_grnet_topology()
+    apply_traffic_sample(topology, "8am")
+    return VoDService(sim, topology, ServiceConfig(**defaults))
+
+
+def movie(title_id="m1", size_mb=400.0, duration_s=3600.0):
+    return VideoTitle(title_id, size_mb=size_mb, duration_s=duration_s)
+
+
+class TestServerFailure:
+    def test_offline_source_excluded_from_decisions(self):
+        service = make_service()
+        service.seed_title("U4", movie())
+        service.seed_title("U5", movie())
+        service.servers["U4"].online = False
+        decision = service.decide("U2", "m1")
+        assert decision.chosen_uid == "U5"
+
+    def test_all_sources_offline_raises(self):
+        service = make_service()
+        service.seed_title("U4", movie())
+        service.servers["U4"].online = False
+        with pytest.raises(RoutingError):
+            service.decide("U2", "m1")
+
+    def test_source_dies_mid_session(self):
+        service = make_service()
+        service.seed_title("U4", movie())
+        request, session, process = service.request_by_home("U2", "m1")
+
+        def kill_u4():
+            service.servers["U4"].online = False
+
+        service.sim.schedule(1000.0, kill_u4)
+        service.sim.run(until=service.sim.now + 4 * 3600.0)
+        assert request.status is RequestStatus.FAILED
+        assert len(session.record.clusters) >= 1  # partial delivery recorded
+        assert service.flows.active_count == 0  # no leaked reservations
+        # The partially cached copy at U2 was aborted, not advertised.
+        assert service.database.servers_with_title("m1") == ["U4"]
+        assert not service.servers["U2"].array.has_video("m1")
+
+    def test_failover_to_surviving_replica_mid_session(self):
+        service = make_service()
+        service.seed_title("U4", movie())
+        service.seed_title("U5", movie())
+        request, session, _ = service.request_by_home("U2", "m1")
+
+        def kill_primary():
+            # Kill whichever server the session is currently using.
+            current = session.record.clusters[-1].server_uid if session.record.clusters else "U4"
+            service.servers[current].online = False
+
+        service.sim.schedule(1000.0, kill_primary)
+        service.sim.run(until=service.sim.now + 4 * 3600.0)
+        assert request.status is RequestStatus.COMPLETED
+        assert len(set(session.record.servers_used)) == 2
+
+
+class TestUnavailableTitles:
+    def test_title_nowhere_raises_title_unavailable(self):
+        service = make_service()
+        service.database.register_title(
+            __import__("repro.database.records", fromlist=["TitleInfo"]).TitleInfo(
+                "ghost", "Ghost", 100.0, 600.0
+            )
+        )
+        with pytest.raises(TitleUnavailableError):
+            service.decide("U2", "ghost")
+
+    def test_dma_can_evict_last_network_copy(self):
+        # The Figure 2 hazard: nothing stops a server from evicting the
+        # only copy in the network.  Documented behaviour, pinned here
+        # (seed-pinning disabled to get exact Figure 2 semantics).
+        service = make_service(
+            disk_count=1, disk_capacity_mb=450.0, pin_seeded_titles=False
+        )
+        service.seed_title("U4", movie("only", size_mb=400.0))
+        server = service.servers["U4"]
+        # Hammer a different title until it out-scores "only" (0 points).
+        rival = movie("rival", size_mb=400.0)
+        result = server.on_download_begins(rival)
+        assert "only" in result.evicted
+        assert service.database.servers_with_title("only") == []
+        with pytest.raises(RoutingError):
+            service.decide("U2", "only")
+
+    def test_seed_pinning_prevents_last_copy_loss(self):
+        # The deployable default: seeded titles are pinned, so the rival
+        # cannot evict the only copy no matter how popular it gets.
+        service = make_service(disk_count=1, disk_capacity_mb=450.0)
+        service.seed_title("U4", movie("only", size_mb=400.0))
+        server = service.servers["U4"]
+        rival = movie("rival", size_mb=400.0)
+        for _ in range(5):
+            result = server.on_download_begins(rival)
+            assert result.evicted == ()
+            assert not result.cached
+        assert service.database.servers_with_title("only") == ["U4"]
+        assert service.decide("U2", "only").chosen_uid == "U4"
+
+
+class TestSaturation:
+    def test_saturated_links_degrade_but_complete(self):
+        service = make_service()
+        for link in service.topology.links():
+            link.set_background_mbps(link.capacity_mbps)
+        service.seed_title("U4", movie("m1", size_mb=150.0, duration_s=900.0))
+        request, session, _ = service.request_by_home("U2", "m1")
+        service.sim.run(until=service.sim.now + 5 * 24 * 3600.0)
+        assert request.status is RequestStatus.COMPLETED
+        assert session.record.qos_violation_count == len(session.record.clusters)
+        assert session.record.stall_s > 0.0
+
+    def test_admission_exhaustion_fails_over(self):
+        service = make_service(max_streams=1)
+        service.seed_title("U4", movie())
+        service.seed_title("U5", movie())
+        lease = service.servers["U4"].begin_serving("m1")
+        decision = service.decide("U2", "m1")
+        assert decision.chosen_uid == "U5"
+        service.servers["U4"].end_serving(lease)
+
+    def test_admission_exhaustion_everywhere_raises(self):
+        service = make_service(max_streams=1)
+        service.seed_title("U4", movie())
+        lease = service.servers["U4"].begin_serving("m1")
+        with pytest.raises(RoutingError):
+            service.decide("U2", "m1")
+        service.servers["U4"].end_serving(lease)

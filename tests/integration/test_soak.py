@@ -1,0 +1,154 @@
+"""Soak test: a multi-day simulated run must stay leak-free and sane.
+
+Long-running discrete-event services accumulate subtle leaks — flows never
+released, admission slots held, pending advertisements stranded, event
+heaps growing without bound.  This test drives the full service through
+two simulated days of mixed workload (diurnal background, regional Zipf
+requests, a flash crowd, a link flap and a mid-run expansion) and asserts
+global conservation at the end.
+"""
+
+import pytest
+
+from repro.core.service import ServiceConfig, VoDService
+from repro.network.grnet import build_grnet_topology
+from repro.network.link import Link
+from repro.network.node import Node
+from repro.sim.engine import Simulator
+from repro.storage.video import VideoTitle
+from repro.workload.scenarios import flash_crowd_scenario, regional_scenario
+from repro.workload.traces import DiurnalTrafficShaper
+
+NODES = ["U1", "U2", "U3", "U4", "U5", "U6"]
+
+
+@pytest.fixture(scope="module")
+def soaked_service():
+    sim = Simulator()
+    topology = build_grnet_topology()
+    service = VoDService(
+        sim,
+        topology,
+        ServiceConfig(
+            cluster_mb=100.0,
+            disk_count=3,
+            disk_capacity_mb=400.0,
+            max_streams=128,
+            snmp_period_s=120.0,
+            use_reported_stats=True,
+        ),
+    )
+    catalog = [
+        VideoTitle(f"t{i:02d}", size_mb=150.0, duration_s=3600.0) for i in range(12)
+    ]
+    for index, title in enumerate(catalog):
+        service.seed_title(NODES[index % len(NODES)], title)
+
+    DiurnalTrafficShaper(
+        sim, topology, base_fraction=0.05, peak_fraction=0.5, update_period_s=300.0
+    ).start()
+    service.start()
+
+    # Two days of regional requests.
+    scenario = regional_scenario(
+        NODES,
+        requests_per_node=25,
+        horizon_s=2 * 86_400.0,
+        zipf_exponent=0.9,
+        seed=99,
+        catalog=catalog,
+    )
+    for event in scenario.events:
+        sim.schedule_at(
+            event.time_s,
+            lambda e=event: service.request_by_home(e.home_uid, e.title_id, e.client_id),
+        )
+
+    # A flash crowd in the evening of day 1.
+    crowd = flash_crowd_scenario(
+        "U5", catalog[0], viewer_count=15, start_s=20 * 3600.0, ramp_s=7_200.0
+    )
+    for event in crowd.events:
+        sim.schedule_at(
+            event.time_s,
+            lambda e=event: service.request_by_home(e.home_uid, e.title_id, e.client_id),
+        )
+
+    # A link flaps for an hour on day 2.
+    def flap_down():
+        topology.link_named("Thessaloniki-Athens").online = False
+
+    def flap_up():
+        topology.link_named("Thessaloniki-Athens").online = True
+
+    sim.schedule_at(30 * 3600.0, flap_down)
+    sim.schedule_at(31 * 3600.0, flap_up)
+
+    # A new node joins halfway.
+    def expand():
+        service.add_server(
+            Node("U7", name="Kalamata"),
+            [Link("U7", "U2", capacity_mbps=4.0, name="Kalamata-Patra")],
+        )
+
+    sim.schedule_at(86_400.0, expand)
+
+    sim.run(until=2 * 86_400.0 + 12 * 3600.0)  # two days + drain
+    return service
+
+
+class TestSoak:
+    def test_every_session_reached_a_terminal_state(self, soaked_service):
+        unfinished = [
+            r for r in soaked_service.sessions if not r.request.finished
+        ]
+        assert unfinished == []
+
+    def test_overwhelming_majority_completed(self, soaked_service):
+        records = soaked_service.sessions
+        completed = sum(1 for r in records if r.completed)
+        assert len(records) > 200
+        assert completed / len(records) > 0.95
+
+    def test_no_leaked_flow_reservations(self, soaked_service):
+        assert soaked_service.flows.active_count == 0
+        for link in soaked_service.topology.links():
+            assert link.reserved_mbps == 0.0
+
+    def test_no_leaked_admission_slots(self, soaked_service):
+        for server in soaked_service.servers.values():
+            assert server.admission.active_count == 0
+
+    def test_no_stranded_pending_advertisements(self, soaked_service):
+        for server in soaked_service.servers.values():
+            assert server.pending_title_ids() == []
+
+    def test_catalog_consistency(self, soaked_service):
+        # Every advertised (server, title) pair is backed by resident bytes
+        # and vice versa.
+        database = soaked_service.database
+        for uid, server in soaked_service.servers.items():
+            advertised = database.server_title_ids(uid)
+            resident = set(server.array.stored_title_ids())
+            assert advertised == resident, uid
+
+    def test_no_title_lost_from_the_network(self, soaked_service):
+        # Seed pinning guarantees at least one copy of everything.
+        for title in soaked_service.database.list_titles():
+            assert soaked_service.database.servers_with_title(title.title_id), (
+                title.title_id
+            )
+
+    def test_snmp_kept_reporting_through_the_whole_run(self, soaked_service):
+        horizon = soaked_service.sim.now
+        for entry in soaked_service.database.link_entries():
+            assert entry.latest_stats is not None, entry.link_name
+            assert entry.latest_stats.timestamp > horizon - 300.0, entry.link_name
+
+    def test_event_heap_drained(self, soaked_service):
+        # Only the periodic tasks (SNMP + shaper) may remain armed.
+        assert soaked_service.sim.pending_count <= 4
+
+    def test_expansion_node_active(self, soaked_service):
+        assert "U7" in soaked_service.servers
+        assert soaked_service.database.link_entry("Kalamata-Patra").latest_stats is not None

@@ -1,0 +1,115 @@
+"""Unit tests for session-metric aggregation."""
+
+import pytest
+
+from repro.client.requests import VideoRequest
+from repro.core.session import ClusterRecord, SessionRecord
+from repro.metrics.collectors import summarize_sessions
+
+
+def make_record(
+    clusters,
+    completed=True,
+    startup=10.0,
+    stall=0.0,
+    switches=0,
+    submitted=0.0,
+):
+    request = VideoRequest(client_id="c", home_uid="A", title_id="t", submitted_at=submitted)
+    if completed:
+        request.mark_completed()
+    else:
+        request.mark_failed("x")
+    record = SessionRecord(request=request)
+    record.clusters = clusters
+    record.startup_delay_s = startup
+    record.stall_s = stall
+    record.switch_count = switches
+    if completed:
+        record.completed_at = 100.0
+    return record
+
+
+def cluster(index, path, size=25.0, qos=False, switched=False):
+    return ClusterRecord(
+        index=index,
+        server_uid=path[-1],
+        path_nodes=tuple(path),
+        rate_mbps=1.0,
+        start=0.0,
+        end=1.0,
+        size_mb=size,
+        switched=switched,
+        qos_violated=qos,
+    )
+
+
+class TestSummarize:
+    def test_empty_batch(self):
+        metrics = summarize_sessions([])
+        assert metrics.session_count == 0
+        assert metrics.completed_count == 0
+        assert metrics.mean_startup_s == 0.0
+        assert metrics.megabyte_hops == 0.0
+
+    def test_counts_and_failures(self):
+        records = [
+            make_record([cluster(0, ["A", "B"])]),
+            make_record([], completed=False),
+        ]
+        metrics = summarize_sessions(records)
+        assert metrics.session_count == 2
+        assert metrics.completed_count == 1
+        assert metrics.failed_count == 1
+
+    def test_megabyte_hops(self):
+        records = [
+            make_record(
+                [cluster(0, ["A", "B", "C"], size=50.0), cluster(1, ["A", "B"], size=50.0)]
+            )
+        ]
+        metrics = summarize_sessions(records)
+        assert metrics.megabyte_hops == pytest.approx(50.0 * 2 + 50.0 * 1)
+        assert metrics.mean_hop_count == pytest.approx(1.5)
+
+    def test_local_serve_fraction(self):
+        records = [
+            make_record([cluster(0, ["A"])]),
+            make_record([cluster(0, ["A", "B"])]),
+        ]
+        metrics = summarize_sessions(records)
+        assert metrics.local_serve_fraction == pytest.approx(0.5)
+
+    def test_qos_violation_fraction(self):
+        records = [
+            make_record([cluster(0, ["A", "B"], qos=True), cluster(1, ["A", "B"])])
+        ]
+        metrics = summarize_sessions(records)
+        assert metrics.qos_violation_fraction == pytest.approx(0.5)
+
+    def test_switch_aggregation(self):
+        records = [
+            make_record([cluster(0, ["A", "B"])], switches=2),
+            make_record([cluster(0, ["A", "B"])], switches=1),
+        ]
+        metrics = summarize_sessions(records)
+        assert metrics.total_switches == 3
+        assert metrics.switches_per_session == pytest.approx(1.5)
+
+    def test_startup_statistics(self):
+        records = [
+            make_record([cluster(0, ["A"])], startup=10.0),
+            make_record([cluster(0, ["A"])], startup=30.0),
+        ]
+        metrics = summarize_sessions(records)
+        assert metrics.mean_startup_s == pytest.approx(20.0)
+        assert metrics.p95_startup_s == pytest.approx(29.0)
+
+    def test_failed_sessions_excluded_from_quality_metrics(self):
+        records = [
+            make_record([cluster(0, ["A", "B"], qos=True)], completed=False, startup=99.0),
+            make_record([cluster(0, ["A"])], startup=5.0),
+        ]
+        metrics = summarize_sessions(records)
+        assert metrics.mean_startup_s == pytest.approx(5.0)
+        assert metrics.qos_violation_fraction == 0.0

@@ -1,0 +1,101 @@
+"""Unit tests for the embedded GRNET case-study data."""
+
+import pytest
+
+from repro.network import grnet as grnet_data
+from repro.network.grnet import apply_traffic_sample, build_grnet_topology, traffic_at
+
+
+class TestTopology:
+    def test_six_nodes_seven_links(self, grnet):
+        assert grnet.node_count == 6
+        assert grnet.link_count == 7
+
+    def test_city_names(self, grnet):
+        assert grnet.node("U1").name == "Athens"
+        assert grnet.node("U2").name == "Patra"
+        assert grnet.node("U4").name == "Thessaloniki"
+
+    def test_link_capacities_match_table2_headers(self, grnet):
+        assert grnet.link_named("Patra-Athens").capacity_mbps == 2.0
+        assert grnet.link_named("Thessaloniki-Athens").capacity_mbps == 18.0
+        assert grnet.link_named("Athens-Heraklio").capacity_mbps == 18.0
+        assert grnet.link_named("Xanthi-Heraklio").capacity_mbps == 2.0
+
+    def test_adjacency_matches_figure6(self, grnet):
+        assert sorted(grnet.neighbors("U1")) == ["U2", "U4", "U6"]
+        assert sorted(grnet.neighbors("U2")) == ["U1", "U3"]
+        assert sorted(grnet.neighbors("U3")) == ["U2", "U4"]
+        assert sorted(grnet.neighbors("U4")) == ["U1", "U3", "U5"]
+        assert sorted(grnet.neighbors("U5")) == ["U4", "U6"]
+        assert sorted(grnet.neighbors("U6")) == ["U1", "U5"]
+
+    def test_topology_validates(self, grnet):
+        grnet.validate()  # must not raise
+
+    def test_fresh_topology_is_idle(self, grnet):
+        assert all(link.used_mbps == 0.0 for link in grnet.links())
+
+
+class TestTrafficSamples:
+    def test_apply_sample_sets_background(self):
+        topology = build_grnet_topology()
+        apply_traffic_sample(topology, "8am")
+        assert topology.link_named("Patra-Athens").used_mbps == pytest.approx(0.2)
+        assert topology.link_named("Thessaloniki-Athens").used_mbps == pytest.approx(1.7)
+
+    def test_samples_overwrite_previous_column(self):
+        topology = build_grnet_topology()
+        apply_traffic_sample(topology, "8am")
+        apply_traffic_sample(topology, "4pm")
+        assert topology.link_named("Patra-Athens").used_mbps == pytest.approx(1.82)
+
+    def test_sample_times_cover_four_instants(self):
+        assert grnet_data.SAMPLE_TIMES == ["8am", "10am", "4pm", "6pm"]
+
+    def test_unknown_time_label_rejected(self):
+        topology = build_grnet_topology()
+        with pytest.raises(KeyError):
+            apply_traffic_sample(topology, "noon")
+        with pytest.raises(KeyError):
+            traffic_at("noon")
+
+    def test_traffic_at_returns_column(self):
+        column = traffic_at("4pm")
+        assert column["Patra-Ioannina"] == pytest.approx(0.2)
+        assert column["Athens-Heraklio"] == pytest.approx(5.5)
+
+    def test_utilization_matches_printed_percentages(self):
+        # eq. (5): used / capacity; e.g. "100 bits" on 2 Mb = 0.005 %.
+        traffic = grnet_data.TABLE2_TRAFFIC_MBPS
+        assert 100 * traffic["Patra-Ioannina"]["8am"] / 2.0 == pytest.approx(0.005)
+        assert 100 * traffic["Patra-Athens"]["10am"] / 2.0 == pytest.approx(91.0)
+        assert 100 * traffic["Thessaloniki-Xanthi"]["4pm"] / 2.0 == pytest.approx(37.5)
+
+    def test_every_link_has_all_four_samples(self):
+        for name, samples in grnet_data.TABLE2_TRAFFIC_MBPS.items():
+            assert sorted(samples) == sorted(grnet_data.SAMPLE_TIMES), name
+
+
+class TestInterpolation:
+    def test_exact_sample_instants(self):
+        assert grnet_data.interpolated_traffic(8 * 3600.0) == traffic_at("8am")
+        assert grnet_data.interpolated_traffic(18 * 3600.0) == traffic_at("6pm")
+
+    def test_midpoint_interpolates_linearly(self):
+        at_9am = grnet_data.interpolated_traffic(9 * 3600.0)
+        assert at_9am["Patra-Athens"] == pytest.approx((0.2 + 1.82) / 2.0)
+
+    def test_clamped_before_first_sample(self):
+        assert grnet_data.interpolated_traffic(0.0) == traffic_at("8am")
+
+    def test_clamped_after_last_sample(self):
+        assert grnet_data.interpolated_traffic(23 * 3600.0) == traffic_at("6pm")
+
+    def test_interpolation_monotone_on_rising_link(self):
+        # Athens-Heraklio rises all day: 0.5 -> 2.5 -> 5.5 -> 6.0.
+        values = [
+            grnet_data.interpolated_traffic(t * 3600.0)["Athens-Heraklio"]
+            for t in (8, 9, 10, 13, 16, 17, 18)
+        ]
+        assert values == sorted(values)

@@ -1,0 +1,114 @@
+"""Unit tests for Link bandwidth accounting."""
+
+import pytest
+
+from repro.errors import LinkCapacityError
+from repro.network.link import Link, link_key
+
+
+class TestLinkKey:
+    def test_key_is_sorted(self):
+        assert link_key("U2", "U1") == ("U1", "U2")
+        assert link_key("U1", "U2") == ("U1", "U2")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            link_key("U1", "U1")
+
+
+class TestLinkConstruction:
+    def test_endpoints_canonicalised(self):
+        link = Link("U2", "U1", capacity_mbps=2.0)
+        assert link.key == ("U1", "U2")
+
+    def test_default_name(self):
+        assert Link("B", "A", capacity_mbps=1.0).name == "A-B"
+
+    def test_explicit_name(self):
+        link = Link("U2", "U1", capacity_mbps=2.0, name="Patra-Athens")
+        assert link.name == "Patra-Athens"
+
+    def test_non_positive_capacity_rejected(self):
+        with pytest.raises(LinkCapacityError):
+            Link("A", "B", capacity_mbps=0.0)
+        with pytest.raises(LinkCapacityError):
+            Link("A", "B", capacity_mbps=-2.0)
+
+    def test_other_end(self):
+        link = Link("A", "B", capacity_mbps=1.0)
+        assert link.other_end("A") == "B"
+        assert link.other_end("B") == "A"
+        with pytest.raises(ValueError):
+            link.other_end("C")
+
+    def test_touches(self):
+        link = Link("A", "B", capacity_mbps=1.0)
+        assert link.touches("A") and link.touches("B")
+        assert not link.touches("C")
+
+
+class TestBandwidthAccounting:
+    def test_initially_idle(self):
+        link = Link("A", "B", capacity_mbps=10.0)
+        assert link.used_mbps == 0.0
+        assert link.free_mbps == 10.0
+        assert link.utilization == 0.0
+
+    def test_background_traffic(self):
+        link = Link("A", "B", capacity_mbps=10.0)
+        link.set_background_mbps(4.0)
+        assert link.used_mbps == 4.0
+        assert link.utilization == pytest.approx(0.4)
+
+    def test_background_clamped_to_capacity(self):
+        link = Link("A", "B", capacity_mbps=10.0)
+        link.set_background_mbps(25.0)
+        assert link.used_mbps == 10.0
+        assert link.utilization == 1.0
+
+    def test_negative_background_rejected(self):
+        link = Link("A", "B", capacity_mbps=10.0)
+        with pytest.raises(LinkCapacityError):
+            link.set_background_mbps(-1.0)
+
+    def test_reserve_and_release(self):
+        link = Link("A", "B", capacity_mbps=10.0)
+        link.reserve(3.0)
+        assert link.reserved_mbps == 3.0
+        assert link.free_mbps == 7.0
+        link.release(3.0)
+        assert link.reserved_mbps == 0.0
+
+    def test_background_plus_reserved_is_used(self):
+        link = Link("A", "B", capacity_mbps=10.0)
+        link.set_background_mbps(4.0)
+        link.reserve(2.0)
+        assert link.used_mbps == pytest.approx(6.0)
+        assert link.utilization == pytest.approx(0.6)
+
+    def test_over_reservation_rejected(self):
+        link = Link("A", "B", capacity_mbps=10.0)
+        link.set_background_mbps(8.0)
+        with pytest.raises(LinkCapacityError):
+            link.reserve(3.0)
+        # failed reserve leaves accounting untouched
+        assert link.reserved_mbps == 0.0
+
+    def test_release_more_than_reserved_rejected(self):
+        link = Link("A", "B", capacity_mbps=10.0)
+        link.reserve(1.0)
+        with pytest.raises(LinkCapacityError):
+            link.release(2.0)
+
+    def test_negative_reserve_release_rejected(self):
+        link = Link("A", "B", capacity_mbps=10.0)
+        with pytest.raises(LinkCapacityError):
+            link.reserve(-1.0)
+        with pytest.raises(LinkCapacityError):
+            link.release(-1.0)
+
+    def test_reserve_exactly_free_capacity(self):
+        link = Link("A", "B", capacity_mbps=10.0)
+        link.set_background_mbps(4.0)
+        link.reserve(6.0)
+        assert link.free_mbps == pytest.approx(0.0)

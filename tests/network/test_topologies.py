@@ -1,0 +1,151 @@
+"""Unit tests for the synthetic topology generators."""
+
+import random
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.topologies import (
+    grid_topology,
+    line_topology,
+    random_topology,
+    ring_topology,
+    star_topology,
+    tree_topology,
+)
+
+
+class TestStar:
+    def test_shape(self):
+        topology = star_topology(5)
+        assert topology.node_count == 6
+        assert topology.link_count == 5
+        assert topology.degree("H0") == 5
+        assert all(topology.degree(f"L{i}") == 1 for i in range(5))
+
+    def test_minimum(self):
+        with pytest.raises(TopologyError):
+            star_topology(0)
+
+    def test_capacity_applied(self):
+        topology = star_topology(2, capacity_mbps=4.0)
+        assert all(l.capacity_mbps == 4.0 for l in topology.links())
+
+
+class TestRing:
+    def test_shape(self):
+        topology = ring_topology(6)
+        assert topology.node_count == 6
+        assert topology.link_count == 6
+        assert all(topology.degree(uid) == 2 for uid in topology.node_uids())
+
+    def test_wraps_around(self):
+        topology = ring_topology(4)
+        assert topology.has_link_between("R3", "R0")
+
+    def test_minimum(self):
+        with pytest.raises(TopologyError):
+            ring_topology(2)
+
+
+class TestLine:
+    def test_shape(self):
+        topology = line_topology(4)
+        assert topology.link_count == 3
+        assert topology.degree("P0") == 1
+        assert topology.degree("P1") == 2
+
+    def test_minimum(self):
+        with pytest.raises(TopologyError):
+            line_topology(1)
+
+
+class TestTree:
+    def test_binary_tree_counts(self):
+        topology = tree_topology(depth=3, branching=2)
+        assert topology.node_count == 1 + 2 + 4 + 8
+        assert topology.link_count == topology.node_count - 1
+
+    def test_ternary_tree(self):
+        topology = tree_topology(depth=2, branching=3)
+        assert topology.node_count == 1 + 3 + 9
+        assert topology.degree("T0") == 3
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            tree_topology(depth=0)
+        with pytest.raises(TopologyError):
+            tree_topology(depth=2, branching=0)
+
+
+class TestGrid:
+    def test_shape(self):
+        topology = grid_topology(3, 4)
+        assert topology.node_count == 12
+        # links: 3 rows x 3 horizontal + 2 x 4 vertical = 9 + 8.
+        assert topology.link_count == 17
+        assert topology.degree("G0.0") == 2  # corner
+        assert topology.degree("G1.1") == 4  # interior
+
+    def test_single_row_is_a_line(self):
+        topology = grid_topology(1, 5)
+        assert topology.link_count == 4
+
+    def test_minimum(self):
+        with pytest.raises(TopologyError):
+            grid_topology(1, 1)
+
+
+class TestRandom:
+    def test_connected_with_tree_baseline(self):
+        topology = random_topology(10, rng=random.Random(3))
+        assert topology.node_count == 10
+        assert topology.link_count == 9
+        assert topology.is_connected()
+
+    def test_extra_links_added(self):
+        topology = random_topology(10, extra_links=5, rng=random.Random(3))
+        assert topology.link_count == 14
+
+    def test_deterministic_under_seed(self):
+        a = random_topology(8, extra_links=4, rng=random.Random(7))
+        b = random_topology(8, extra_links=4, rng=random.Random(7))
+        assert {l.key for l in a.links()} == {l.key for l in b.links()}
+
+    def test_clique_saturation_stops_early(self):
+        topology = random_topology(3, extra_links=100, rng=random.Random(1))
+        assert topology.link_count == 3  # the triangle is the clique
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            random_topology(1)
+        with pytest.raises(TopologyError):
+            random_topology(5, extra_links=-1)
+
+
+class TestServiceOnGeneratedTopologies:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: star_topology(5, capacity_mbps=10.0),
+            lambda: ring_topology(6, capacity_mbps=10.0),
+            lambda: tree_topology(2, 3, capacity_mbps=10.0),
+            lambda: grid_topology(3, 3, capacity_mbps=10.0),
+            lambda: random_topology(8, extra_links=4, rng=random.Random(5)),
+        ],
+    )
+    def test_end_to_end_delivery(self, factory):
+        from repro.core.service import ServiceConfig, VoDService
+        from repro.sim.engine import Simulator
+        from repro.storage.video import VideoTitle
+
+        topology = factory()
+        sim = Simulator()
+        service = VoDService(
+            sim, topology, ServiceConfig(cluster_mb=50.0, use_reported_stats=False)
+        )
+        uids = topology.node_uids()
+        service.seed_title(uids[-1], VideoTitle("m", size_mb=100.0, duration_s=600.0))
+        request, session, _ = service.request_by_home(uids[0], "m")
+        sim.run(until=sim.now + 4 * 3600.0)
+        assert request.finished and session.record.completed

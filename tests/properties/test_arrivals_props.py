@@ -1,0 +1,71 @@
+"""Property-based tests: arrival-process statistics."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.arrivals import PoissonArrivals, UniformArrivals
+
+rates = st.floats(min_value=0.001, max_value=1.0, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=2**31)
+horizons = st.floats(min_value=10.0, max_value=5_000.0, allow_nan=False)
+
+
+@given(rates, seeds, horizons)
+@settings(max_examples=100, deadline=None)
+def test_poisson_times_strictly_inside_window(rate, seed, horizon):
+    arrivals = PoissonArrivals(rate, rng=random.Random(seed))
+    times = arrivals.times_until(horizon)
+    assert all(0.0 < t <= horizon for t in times)
+    assert times == sorted(times)
+
+
+@given(rates, seeds)
+@settings(max_examples=50, deadline=None)
+def test_poisson_mean_count_tracks_rate(rate, seed):
+    horizon = 2_000.0 / rate  # expect ~2000 arrivals: tight relative CI
+    arrivals = PoissonArrivals(rate, rng=random.Random(seed))
+    count = len(arrivals.times_until(horizon))
+    # 2000 +- 6 sigma (~268) always holds for a Poisson process.
+    assert abs(count - 2_000) < 270
+
+
+@given(rates, seeds, st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_poisson_start_offset_shifts_window(rate, seed, start):
+    arrivals = PoissonArrivals(rate, rng=random.Random(seed))
+    times = arrivals.times_until(start + 500.0, start=start)
+    assert all(start < t <= start + 500.0 for t in times)
+
+
+@given(
+    st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+    horizons,
+)
+@settings(max_examples=100, deadline=None)
+def test_uniform_spacing_exact(period, horizon):
+    times = UniformArrivals(period).times_until(horizon)
+    # Oracle: the largest i with i*period <= horizon, checked by direct
+    # multiplication (the definition, not the implementation's loop).
+    expected = 0
+    while (expected + 1) * period <= horizon:
+        expected += 1
+    assert len(times) == expected
+    for i, t in enumerate(times, start=1):
+        assert t == i * period  # exact: drift-free construction
+
+
+@given(rates, seeds)
+@settings(max_examples=50, deadline=None)
+def test_poisson_stream_matches_times_until(rate, seed):
+    horizon = 100.0 / rate
+    batch = PoissonArrivals(rate, rng=random.Random(seed)).times_until(horizon)
+    stream = PoissonArrivals(rate, rng=random.Random(seed)).stream()
+    replayed = []
+    while True:
+        t = next(stream)
+        if t > horizon:
+            break
+        replayed.append(t)
+    assert replayed == batch

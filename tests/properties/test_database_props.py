@@ -1,0 +1,77 @@
+"""Property-based tests: the database's title-location index stays
+consistent under arbitrary advertise/withdraw sequences."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.database.records import ServerEntry, TitleInfo
+from repro.database.store import ServiceDatabase
+from repro.errors import MissingEntryError
+
+SERVERS = ["U1", "U2", "U3"]
+TITLES = ["t1", "t2", "t3", "t4"]
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove"]),
+        st.sampled_from(SERVERS),
+        st.sampled_from(TITLES),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+def fresh_database() -> ServiceDatabase:
+    database = ServiceDatabase()
+    for uid in SERVERS:
+        database.register_server(ServerEntry(uid))
+    for title_id in TITLES:
+        database.register_title(TitleInfo(title_id, title_id, 100.0, 600.0))
+    return database
+
+
+@given(operations)
+@settings(max_examples=100, deadline=None)
+def test_location_index_matches_server_entries(ops):
+    database = fresh_database()
+    for op, uid, title_id in ops:
+        if op == "add":
+            database.add_title_to_server(uid, title_id)
+        else:
+            try:
+                database.remove_title_from_server(uid, title_id)
+            except MissingEntryError:
+                pass  # withdrawing a non-advertised title is an error; skip
+        # Invariant: the reverse index equals the per-server sets.
+        for title in TITLES:
+            holders = set(database.servers_with_title(title))
+            expected = {
+                server
+                for server in SERVERS
+                if title in database.server_title_ids(server)
+            }
+            assert holders == expected, (title, holders, expected)
+
+
+@given(operations)
+@settings(max_examples=100, deadline=None)
+def test_add_remove_are_inverse(ops):
+    database = fresh_database()
+    model = {uid: set() for uid in SERVERS}
+    for op, uid, title_id in ops:
+        if op == "add":
+            database.add_title_to_server(uid, title_id)
+            model[uid].add(title_id)
+        else:
+            if title_id in model[uid]:
+                database.remove_title_from_server(uid, title_id)
+                model[uid].discard(title_id)
+            else:
+                try:
+                    database.remove_title_from_server(uid, title_id)
+                    raise AssertionError("expected MissingEntryError")
+                except MissingEntryError:
+                    pass
+    for uid in SERVERS:
+        assert database.server_title_ids(uid) == model[uid]

@@ -1,0 +1,95 @@
+"""Property-based tests: Dijkstra optimality vs networkx on random graphs."""
+
+import networkx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.link import Link
+from repro.network.node import Node
+from repro.network.routing.dijkstra import dijkstra
+from repro.network.topology import Topology
+
+
+@st.composite
+def random_weighted_topology(draw):
+    """A connected random graph with positive link weights.
+
+    Builds a random spanning tree for connectivity, then sprinkles extra
+    edges.  Returns (topology, weights-by-link-name).
+    """
+    node_count = draw(st.integers(min_value=2, max_value=12))
+    uids = [f"N{i}" for i in range(node_count)]
+    topology = Topology(name="random")
+    for uid in uids:
+        topology.add_node(Node(uid))
+    weights = {}
+
+    def add_edge(a, b):
+        if topology.has_link_between(a, b):
+            return
+        link = Link(a, b, capacity_mbps=10.0)
+        topology.add_link(link)
+        weights[link.name] = draw(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+        )
+
+    # Random spanning tree: attach node i to a random earlier node.
+    for i in range(1, node_count):
+        j = draw(st.integers(min_value=0, max_value=i - 1))
+        add_edge(uids[i], uids[j])
+    # Extra edges.
+    extra = draw(st.integers(min_value=0, max_value=node_count * 2))
+    for _ in range(extra):
+        i = draw(st.integers(min_value=0, max_value=node_count - 1))
+        j = draw(st.integers(min_value=0, max_value=node_count - 1))
+        if i != j:
+            add_edge(uids[i], uids[j])
+    return topology, weights
+
+
+@given(random_weighted_topology())
+@settings(max_examples=60, deadline=None)
+def test_distances_match_networkx(data):
+    topology, weights = data
+    graph = networkx.Graph()
+    for link in topology.links():
+        graph.add_edge(link.a_uid, link.b_uid, weight=weights[link.name])
+    source = topology.node_uids()[0]
+    ours = dijkstra(topology, source, lambda l: weights[l.name])
+    reference = networkx.single_source_dijkstra_path_length(graph, source)
+    assert set(ours.distances) == set(reference)
+    for uid, expected in reference.items():
+        assert abs(ours.cost(uid) - expected) < 1e-9
+
+
+@given(random_weighted_topology())
+@settings(max_examples=60, deadline=None)
+def test_paths_are_consistent_with_distances(data):
+    """The reported path's link weights must sum to the reported distance,
+    and every prefix of a shortest path must itself be shortest."""
+    topology, weights = data
+    source = topology.node_uids()[0]
+    result = dijkstra(topology, source, lambda l: weights[l.name])
+    for uid in result.distances:
+        path = result.path(uid)
+        total = sum(
+            weights[link.name] for link in topology.path_links(list(path.nodes))
+        )
+        assert abs(total - result.cost(uid)) < 1e-9
+        for prefix_end in path.nodes[:-1]:
+            assert result.cost(prefix_end) <= result.cost(uid) + 1e-9
+
+
+@given(random_weighted_topology())
+@settings(max_examples=40, deadline=None)
+def test_triangle_inequality_over_tree(data):
+    """d(v) <= d(u) + w(u, v) for every settled edge."""
+    topology, weights = data
+    source = topology.node_uids()[0]
+    result = dijkstra(topology, source, lambda l: weights[l.name])
+    for link in topology.links():
+        a, b = link.key
+        if a in result.distances and b in result.distances:
+            w = weights[link.name]
+            assert result.cost(b) <= result.cost(a) + w + 1e-9
+            assert result.cost(a) <= result.cost(b) + w + 1e-9

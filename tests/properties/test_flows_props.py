@@ -1,0 +1,103 @@
+"""Property-based tests: flow-reservation accounting conservation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FlowError, LinkCapacityError
+from repro.network.flows import FlowManager
+from repro.network.grnet import build_grnet_topology
+
+NODES = ["U1", "U2", "U3", "U4", "U5", "U6"]
+
+# Simple valid GRNET walks to reserve over.
+PATHS = [
+    ["U2", "U1"],
+    ["U2", "U3", "U4"],
+    ["U2", "U1", "U6", "U5"],
+    ["U1", "U4", "U5"],
+    ["U6", "U1"],
+    ["U3", "U4", "U1", "U6"],
+]
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("reserve"),
+            st.integers(min_value=0, max_value=len(PATHS) - 1),
+            st.floats(min_value=0.01, max_value=3.0, allow_nan=False),
+        ),
+        st.tuples(st.just("release"), st.integers(min_value=0, max_value=30), st.just(0.0)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def expected_reserved(active_flows):
+    """Recompute each link's reserved bandwidth from the active flow set."""
+    totals = {}
+    for flow in active_flows:
+        for a, b in zip(flow.node_path, flow.node_path[1:]):
+            key = tuple(sorted((a, b)))
+            totals[key] = totals.get(key, 0.0) + flow.rate_mbps
+    return totals
+
+
+@given(operations)
+@settings(max_examples=80, deadline=None)
+def test_link_reservations_always_equal_active_flow_sum(ops):
+    topology = build_grnet_topology()
+    flows = FlowManager(topology)
+    active = []
+    for op, index, rate in ops:
+        if op == "reserve":
+            try:
+                active.append(flows.reserve(list(PATHS[index]), rate))
+            except LinkCapacityError:
+                pass  # rejected reservations must leave accounting intact
+        elif active:
+            flow = active.pop(index % len(active))
+            flows.release(flow)
+        totals = expected_reserved(active)
+        for link in topology.links():
+            assert abs(link.reserved_mbps - totals.get(link.key, 0.0)) < 1e-9
+    assert flows.active_count == len(active)
+
+
+@given(operations)
+@settings(max_examples=80, deadline=None)
+def test_capacity_never_exceeded(ops):
+    topology = build_grnet_topology()
+    flows = FlowManager(topology)
+    active = []
+    for op, index, rate in ops:
+        if op == "reserve":
+            try:
+                active.append(flows.reserve(list(PATHS[index]), rate))
+            except LinkCapacityError:
+                pass
+        elif active:
+            flows.release(active.pop(index % len(active)))
+        for link in topology.links():
+            assert link.reserved_mbps <= link.capacity_mbps + 1e-9
+
+
+@given(operations)
+@settings(max_examples=60, deadline=None)
+def test_releasing_everything_restores_idle(ops):
+    topology = build_grnet_topology()
+    flows = FlowManager(topology)
+    active = []
+    for op, index, rate in ops:
+        if op == "reserve":
+            try:
+                active.append(flows.reserve(list(PATHS[index]), rate))
+            except LinkCapacityError:
+                pass
+        elif active:
+            flows.release(active.pop(index % len(active)))
+    for flow in active:
+        flows.release(flow)
+    assert flows.active_count == 0
+    for link in topology.links():
+        assert link.reserved_mbps == 0.0

@@ -1,0 +1,91 @@
+"""Property-based tests: the LVN equations on random traffic snapshots."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lvn import (
+    link_utilization_term,
+    link_validation_number,
+    node_validation,
+    weight_table,
+)
+from repro.network.grnet import GRNET_LINKS, build_grnet_topology
+
+fractions = st.lists(
+    # Either exactly idle or at least a nano-utilisation: denormal floats
+    # like 5e-324 underflow to zero inside LT * LV, which is numerically
+    # fine but breaks the strict "busy link => positive LU" oracle below.
+    st.one_of(
+        st.just(0.0),
+        st.floats(min_value=1e-9, max_value=1.0, allow_nan=False),
+    ),
+    min_size=len(GRNET_LINKS),
+    max_size=len(GRNET_LINKS),
+)
+
+
+def loaded_grnet(utilizations):
+    topology = build_grnet_topology()
+    for (name, _, capacity), u in zip(GRNET_LINKS, utilizations):
+        topology.link_named(name).set_background_mbps(u * capacity)
+    return topology
+
+
+@given(fractions)
+@settings(max_examples=100, deadline=None)
+def test_weights_bounded(utilizations):
+    """0 <= LVN <= 1 + capacity/K: NV is a ratio in [0,1] and LU is at most
+    LT * LV <= capacity/K."""
+    topology = loaded_grnet(utilizations)
+    for link in topology.links():
+        lvn = link_validation_number(topology, link)
+        assert 0.0 <= lvn <= 1.0 + link.capacity_mbps / 10.0 + 1e-9
+
+
+@given(fractions)
+@settings(max_examples=100, deadline=None)
+def test_node_validation_is_capacity_weighted_mean(utilizations):
+    """NV of a node is a convex combination of its links' utilisations."""
+    topology = loaded_grnet(utilizations)
+    for node in topology.nodes():
+        links = topology.links_at(node.uid)
+        utils = [link.utilization for link in links]
+        nv = node_validation(topology, node.uid)
+        assert min(utils) - 1e-9 <= nv <= max(utils) + 1e-9
+
+
+@given(fractions)
+@settings(max_examples=100, deadline=None)
+def test_weight_table_agrees_with_per_link(utilizations):
+    topology = loaded_grnet(utilizations)
+    table = weight_table(topology)
+    for link in topology.links():
+        assert abs(table[link.name] - link_validation_number(topology, link)) < 1e-12
+
+
+@given(fractions, st.integers(min_value=0, max_value=len(GRNET_LINKS) - 1))
+@settings(max_examples=100, deadline=None)
+def test_monotone_in_single_link_traffic(utilizations, index):
+    """Raising one link's traffic never lowers any link's LVN."""
+    before_topology = loaded_grnet(utilizations)
+    before = weight_table(before_topology)
+
+    bumped = list(utilizations)
+    bumped[index] = min(1.0, bumped[index] + 0.25)
+    after_topology = loaded_grnet(bumped)
+    after = weight_table(after_topology)
+
+    for name in before:
+        assert after[name] >= before[name] - 1e-9
+
+
+@given(fractions)
+@settings(max_examples=100, deadline=None)
+def test_lu_zero_iff_idle_link(utilizations):
+    topology = loaded_grnet(utilizations)
+    for link in topology.links():
+        lu = link_utilization_term(link)
+        if link.used_mbps == 0.0:
+            assert lu == 0.0
+        else:
+            assert lu > 0.0

@@ -1,0 +1,116 @@
+"""Property-based tests: session-metric aggregation vs direct recomputation
+on randomised session batches."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.client.requests import VideoRequest
+from repro.core.session import ClusterRecord, SessionRecord
+from repro.metrics.analysis import analyze_sessions
+from repro.metrics.collectors import summarize_sessions
+
+PATHS = [("A",), ("A", "B"), ("A", "B", "C"), ("A", "D"), ("A", "D", "C")]
+
+
+@st.composite
+def session_batches(draw):
+    batch = []
+    count = draw(st.integers(min_value=0, max_value=12))
+    for serial in range(count):
+        completed = draw(st.booleans())
+        cluster_count = draw(st.integers(min_value=1, max_value=6))
+        clusters = []
+        cursor = 0.0
+        for index in range(cluster_count):
+            path = PATHS[draw(st.integers(min_value=0, max_value=len(PATHS) - 1))]
+            size = draw(st.floats(min_value=1.0, max_value=100.0, allow_nan=False))
+            end = cursor + draw(st.floats(min_value=0.1, max_value=50.0, allow_nan=False))
+            clusters.append(
+                ClusterRecord(
+                    index=index,
+                    server_uid=path[-1],
+                    path_nodes=path,
+                    rate_mbps=1.0,
+                    start=cursor,
+                    end=end,
+                    size_mb=size,
+                    switched=index > 0
+                    and clusters[-1].server_uid != path[-1],
+                    qos_violated=draw(st.booleans()),
+                )
+            )
+            cursor = end
+        request = VideoRequest(
+            client_id=f"c{serial}",
+            home_uid="A",
+            title_id=draw(st.sampled_from(["t1", "t2", "t3"])),
+            submitted_at=0.0,
+        )
+        record = SessionRecord(request=request)
+        record.clusters = clusters
+        record.switch_count = sum(1 for c in clusters if c.switched)
+        record.startup_delay_s = clusters[0].end
+        if completed:
+            request.mark_completed()
+            record.completed_at = cursor
+        else:
+            request.mark_failed("x")
+        batch.append(record)
+    return batch
+
+
+@given(session_batches())
+@settings(max_examples=100, deadline=None)
+def test_counts_partition_the_batch(batch):
+    metrics = summarize_sessions(batch)
+    assert metrics.session_count == len(batch)
+    assert metrics.completed_count + metrics.failed_count == len(batch)
+
+
+@given(session_batches())
+@settings(max_examples=100, deadline=None)
+def test_megabyte_hops_matches_direct_sum(batch):
+    metrics = summarize_sessions(batch)
+    expected = sum(
+        c.size_mb * (len(c.path_nodes) - 1)
+        for r in batch
+        if r.completed
+        for c in r.clusters
+    )
+    assert abs(metrics.megabyte_hops - expected) < 1e-6
+
+
+@given(session_batches())
+@settings(max_examples=100, deadline=None)
+def test_fractions_bounded(batch):
+    metrics = summarize_sessions(batch)
+    assert 0.0 <= metrics.local_serve_fraction <= 1.0
+    assert 0.0 <= metrics.qos_violation_fraction <= 1.0
+    assert metrics.total_switches >= 0
+
+
+@given(session_batches())
+@settings(max_examples=100, deadline=None)
+def test_analysis_conserves_bytes(batch):
+    analysis = analyze_sessions(batch)
+    served = sum(row.megabytes for row in analysis.server_load)
+    direct = sum(c.size_mb for r in batch for c in r.clusters)
+    assert abs(served - direct) < 1e-6
+
+
+@given(session_batches())
+@settings(max_examples=100, deadline=None)
+def test_analysis_link_bytes_match_hop_weighted_sum(batch):
+    analysis = analyze_sessions(batch)
+    carried = sum(row.megabytes for row in analysis.link_load)
+    expected = sum(
+        c.size_mb * (len(c.path_nodes) - 1) for r in batch for c in r.clusters
+    )
+    assert abs(carried - expected) < 1e-6
+
+
+@given(session_batches())
+@settings(max_examples=100, deadline=None)
+def test_title_demand_counts_every_request(batch):
+    analysis = analyze_sessions(batch)
+    assert sum(count for _, count in analysis.title_demand) == len(batch)

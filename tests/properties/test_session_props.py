@@ -1,0 +1,132 @@
+"""Property-based tests: streaming-session bookkeeping invariants under
+randomised network conditions and decision churn."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.client.requests import RequestStatus, VideoRequest
+from repro.core.session import StreamingSession
+from repro.core.vra import VraDecision
+from repro.network.flows import FlowManager
+from repro.network.grnet import build_grnet_topology
+from repro.network.routing.paths import Path
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+from repro.storage.video import VideoTitle
+
+#: Candidate routes from U2 the decision stream cycles through.
+ROUTES = [
+    ("U2",),  # local
+    ("U2", "U1"),
+    ("U2", "U3", "U4"),
+    ("U2", "U1", "U6", "U5"),
+]
+
+decision_streams = st.lists(
+    st.integers(min_value=0, max_value=len(ROUTES) - 1), min_size=1, max_size=12
+)
+backgrounds = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=7,
+    max_size=7,
+)
+video_sizes = st.floats(min_value=20.0, max_value=400.0, allow_nan=False)
+
+
+def make_decision(route):
+    return VraDecision(
+        title_id="v",
+        home_uid="U2",
+        chosen_uid=route[-1],
+        served_locally=len(route) == 1,
+        path=Path(nodes=tuple(route), cost=float(len(route))),
+    )
+
+
+def run_session(choices, utilizations, size_mb):
+    topology = build_grnet_topology()
+    for link, u in zip(topology.links(), utilizations):
+        link.set_background_mbps(u * link.capacity_mbps)
+    sim = Simulator()
+    flows = FlowManager(topology)
+    video = VideoTitle("v", size_mb=size_mb, duration_s=600.0)
+    request = VideoRequest(client_id="c", home_uid="U2", title_id="v", submitted_at=0.0)
+    state = {"i": 0}
+
+    def decide():
+        route = ROUTES[choices[state["i"] % len(choices)]]
+        state["i"] += 1
+        return make_decision(route)
+
+    session = StreamingSession(
+        sim=sim,
+        request=request,
+        video=video,
+        cluster_mb=50.0,
+        decide=decide,
+        flows=flows,
+        servers={},
+    )
+    Process(sim, session.run())
+    sim.run()
+    return session.record, flows, sim
+
+
+@given(decision_streams, backgrounds, video_sizes)
+@settings(max_examples=60, deadline=None)
+def test_all_bytes_delivered_exactly_once(choices, utilizations, size_mb):
+    record, _, _ = run_session(choices, utilizations, size_mb)
+    assert record.request.status is RequestStatus.COMPLETED
+    assert sum(c.size_mb for c in record.clusters) == pytest_approx(size_mb)
+    assert [c.index for c in record.clusters] == list(range(len(record.clusters)))
+
+
+@given(decision_streams, backgrounds, video_sizes)
+@settings(max_examples=60, deadline=None)
+def test_no_leaked_reservations(choices, utilizations, size_mb):
+    record, flows, _ = run_session(choices, utilizations, size_mb)
+    assert record.completed
+    assert flows.active_count == 0
+
+
+@given(decision_streams, backgrounds, video_sizes)
+@settings(max_examples=60, deadline=None)
+def test_cluster_timeline_is_contiguous(choices, utilizations, size_mb):
+    record, _, sim = run_session(choices, utilizations, size_mb)
+    cursor = 0.0
+    for cluster in record.clusters:
+        assert cluster.start >= cursor - 1e-9
+        assert cluster.end > cluster.start
+        cursor = cluster.end
+    assert record.completed_at == pytest_approx(record.clusters[-1].end)
+    assert sim.now >= record.completed_at
+
+
+@given(decision_streams, backgrounds, video_sizes)
+@settings(max_examples=60, deadline=None)
+def test_switch_count_matches_source_changes(choices, utilizations, size_mb):
+    record, _, _ = run_session(choices, utilizations, size_mb)
+    sources = [c.server_uid for c in record.clusters]
+    changes = sum(1 for a, b in zip(sources, sources[1:]) if a != b)
+    assert record.switch_count == changes
+    assert [c.switched for c in record.clusters][0] is False
+
+
+@given(decision_streams, backgrounds, video_sizes)
+@settings(max_examples=60, deadline=None)
+def test_startup_and_stall_are_consistent(choices, utilizations, size_mb):
+    record, _, _ = run_session(choices, utilizations, size_mb)
+    assert record.startup_delay_s == pytest_approx(
+        record.clusters[0].end - record.request.submitted_at
+    )
+    assert record.stall_s >= 0.0
+    # Total experience time >= pure playback time.
+    video_playback = 600.0
+    experienced = record.startup_delay_s + video_playback + record.stall_s
+    assert record.clusters[-1].end <= experienced + 1e-6
+
+
+def pytest_approx(value):
+    import pytest
+
+    return pytest.approx(value, rel=1e-9, abs=1e-6)

@@ -1,0 +1,71 @@
+"""Property-based tests: event-engine ordering guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(delays)
+@settings(max_examples=100, deadline=None)
+def test_events_fire_in_nondecreasing_time_order(delay_list):
+    sim = Simulator()
+    fired = []
+    for delay in delay_list:
+        sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delay_list)
+
+
+@given(delays)
+@settings(max_examples=100, deadline=None)
+def test_equal_times_fire_in_schedule_order(delay_list):
+    sim = Simulator()
+    fired = []
+    for serial, delay in enumerate(delay_list):
+        quantised = round(delay, -1)  # force collisions
+        sim.schedule(quantised, lambda s=serial: fired.append(s))
+    sim.run()
+    by_time = {}
+    for serial in fired:
+        by_time.setdefault(round(delay_list[serial], -1), []).append(serial)
+    for serials in by_time.values():
+        assert serials == sorted(serials)
+
+
+@given(delays, st.floats(min_value=0.0, max_value=1000.0, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_run_until_is_exact_boundary(delay_list, horizon):
+    sim = Simulator()
+    fired = []
+    for delay in delay_list:
+        sim.schedule(delay, lambda d=delay: fired.append(d))
+    sim.run(until=horizon)
+    assert all(d <= horizon for d in fired)
+    assert sorted(fired) == sorted(d for d in delay_list if d <= horizon)
+    assert sim.now == horizon
+
+
+@given(delays, st.data())
+@settings(max_examples=60, deadline=None)
+def test_cancelled_subset_never_fires(delay_list, data):
+    sim = Simulator()
+    fired = []
+    handles = [
+        sim.schedule(delay, lambda i=i: fired.append(i))
+        for i, delay in enumerate(delay_list)
+    ]
+    to_cancel = data.draw(
+        st.sets(st.integers(min_value=0, max_value=len(handles) - 1))
+    )
+    for index in to_cancel:
+        handles[index].cancel()
+    sim.run()
+    assert set(fired) == set(range(len(handles))) - to_cancel

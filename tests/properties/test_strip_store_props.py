@@ -1,0 +1,66 @@
+"""Property-based tests: strip-store invariants under arbitrary request
+streams."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extensions.strip_caching import StripStore
+
+STRIPS = [f"t{t}#{i}" for t in range(4) for i in range(5)]
+SIZE_MB = 20.0
+
+streams = st.lists(st.sampled_from(STRIPS), min_size=1, max_size=150)
+capacities = st.floats(min_value=0.0, max_value=300.0, allow_nan=False)
+modes = st.booleans()
+
+
+@given(streams, capacities, modes)
+@settings(max_examples=100, deadline=None)
+def test_budget_never_exceeded(stream, capacity, greedy):
+    store = StripStore(capacity, evict_until_fits=greedy)
+    for key in stream:
+        store.on_request(key, SIZE_MB)
+        assert store.used_mb <= capacity + 1e-9
+
+
+@given(streams, capacities, modes)
+@settings(max_examples=100, deadline=None)
+def test_used_bytes_match_resident_set(stream, capacity, greedy):
+    store = StripStore(capacity, evict_until_fits=greedy)
+    for key in stream:
+        store.on_request(key, SIZE_MB)
+        unpinned = [k for k in store.resident_keys()]
+        assert abs(store.used_mb - SIZE_MB * len(unpinned)) < 1e-9
+
+
+@given(streams, modes)
+@settings(max_examples=100, deadline=None)
+def test_pinned_strips_survive_everything(stream, greedy):
+    store = StripStore(capacity_mb=40.0, evict_until_fits=greedy)
+    store.pin("origin#0", 100.0)
+    store.pin("origin#1", 100.0)
+    for key in stream:
+        store.on_request(key, SIZE_MB)
+        assert store.has("origin#0")
+        assert store.has("origin#1")
+
+
+@given(streams, modes)
+@settings(max_examples=100, deadline=None)
+def test_result_matches_residency(stream, greedy):
+    store = StripStore(capacity_mb=60.0, evict_until_fits=greedy)
+    for key in stream:
+        resident = store.on_request(key, SIZE_MB)
+        assert resident == store.has(key)
+
+
+@given(streams)
+@settings(max_examples=100, deadline=None)
+def test_points_monotone(stream):
+    store = StripStore(capacity_mb=60.0)
+    previous = {}
+    for key in stream:
+        store.on_request(key, SIZE_MB)
+        points = store.tracker.points_of(key)
+        assert points >= previous.get(key, 0)
+        previous[key] = points

@@ -1,0 +1,77 @@
+"""Property-based tests: striping layout invariants (paper Figure 3)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.striping import (
+    StripingLayout,
+    cluster_count,
+    cluster_sizes,
+    striping_layout,
+)
+
+sizes = st.floats(min_value=0.1, max_value=10_000.0, allow_nan=False)
+clusters = st.floats(min_value=0.1, max_value=1_000.0, allow_nan=False)
+disk_counts = st.integers(min_value=1, max_value=64)
+
+
+@given(sizes, clusters)
+@settings(max_examples=100, deadline=None)
+def test_cluster_sizes_sum_to_video_size(size_mb, cluster_mb):
+    total = sum(cluster_sizes(size_mb, cluster_mb))
+    assert abs(total - size_mb) < 1e-6 * max(size_mb, 1.0)
+
+
+@given(sizes, clusters)
+@settings(max_examples=100, deadline=None)
+def test_every_cluster_positive_and_bounded(size_mb, cluster_mb):
+    for chunk in cluster_sizes(size_mb, cluster_mb):
+        assert 0.0 < chunk <= cluster_mb + 1e-9
+
+
+@given(st.integers(min_value=1, max_value=500), disk_counts)
+@settings(max_examples=100, deadline=None)
+def test_every_part_placed_exactly_once(part_count, disk_count):
+    layout = striping_layout(part_count, disk_count)
+    assert len(layout) == part_count
+    assert all(0 <= disk < disk_count for disk in layout)
+
+
+@given(st.integers(min_value=1, max_value=500), disk_counts)
+@settings(max_examples=100, deadline=None)
+def test_round_robin_balance(part_count, disk_count):
+    """No disk holds more than ceil(p/n) parts nor fewer than floor(p/n)."""
+    layout = striping_layout(part_count, disk_count)
+    counts = [layout.count(d) for d in range(disk_count)]
+    assert max(counts) - min(counts) <= 1
+    assert max(counts) == -(-part_count // disk_count)
+
+
+@given(st.integers(min_value=1, max_value=500), disk_counts)
+@settings(max_examples=100, deadline=None)
+def test_paper_regimes(part_count, disk_count):
+    layout = striping_layout(part_count, disk_count)
+    if disk_count >= part_count:
+        # n > p: one part per disk, the first p disks.
+        assert layout == list(range(part_count))
+    else:
+        # n < p: first n parts fill the disks, then wrap from disk 0.
+        assert layout[:disk_count] == list(range(disk_count))
+        for index in range(disk_count, part_count):
+            assert layout[index] == index % disk_count
+
+
+@given(sizes, clusters, disk_counts)
+@settings(max_examples=100, deadline=None)
+def test_layout_object_consistency(size_mb, cluster_mb, disk_count):
+    layout = StripingLayout.for_video("v", size_mb, cluster_mb, disk_count)
+    assert layout.cluster_count == cluster_count(size_mb, cluster_mb)
+    # per-disk usage sums to the video size
+    assert abs(sum(layout.per_disk_mb().values()) - size_mb) < 1e-6 * max(size_mb, 1.0)
+    # disk_of agrees with clusters_on_disk
+    for disk_index in range(disk_count):
+        for cluster_index in layout.clusters_on_disk(disk_index):
+            assert layout.disk_of(cluster_index) == disk_index
+    # consecutive clusters land on consecutive disks (cyclic)
+    for index in range(1, layout.cluster_count):
+        assert layout.disk_of(index) == (layout.disk_of(index - 1) + 1) % disk_count

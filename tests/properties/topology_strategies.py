@@ -1,0 +1,44 @@
+"""Shared hypothesis strategies for random network topologies."""
+
+from hypothesis import strategies as st
+
+from repro.network.link import Link
+from repro.network.node import Node
+from repro.network.topology import Topology
+
+
+@st.composite
+def random_weighted_topology(draw, max_nodes: int = 12, max_weight: float = 100.0):
+    """A connected random graph with positive link weights.
+
+    Builds a random spanning tree for connectivity, then sprinkles extra
+    edges.  Returns (topology, weights-by-link-name).
+    """
+    node_count = draw(st.integers(min_value=2, max_value=max_nodes))
+    uids = [f"N{i}" for i in range(node_count)]
+    topology = Topology(name="random")
+    for uid in uids:
+        topology.add_node(Node(uid))
+    weights = {}
+
+    def add_edge(a, b):
+        if topology.has_link_between(a, b):
+            return
+        link = Link(a, b, capacity_mbps=10.0)
+        topology.add_link(link)
+        weights[link.name] = draw(
+            st.floats(min_value=0.0, max_value=max_weight, allow_nan=False)
+        )
+
+    # Random spanning tree: attach node i to a random earlier node.
+    for i in range(1, node_count):
+        j = draw(st.integers(min_value=0, max_value=i - 1))
+        add_edge(uids[i], uids[j])
+    # Extra edges.
+    extra = draw(st.integers(min_value=0, max_value=node_count * 2))
+    for _ in range(extra):
+        i = draw(st.integers(min_value=0, max_value=node_count - 1))
+        j = draw(st.integers(min_value=0, max_value=node_count - 1))
+        if i != j:
+            add_edge(uids[i], uids[j])
+    return topology, weights

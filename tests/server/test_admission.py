@@ -1,0 +1,50 @@
+"""Unit tests for stream admission control."""
+
+import pytest
+
+from repro.errors import AdmissionError
+from repro.server.admission import AdmissionController
+
+
+class TestAdmission:
+    def test_admits_up_to_capacity(self):
+        controller = AdmissionController(max_streams=2)
+        controller.admit()
+        controller.admit()
+        assert controller.active_count == 2
+        assert not controller.has_capacity
+
+    def test_rejects_beyond_capacity(self):
+        controller = AdmissionController(max_streams=1)
+        controller.admit()
+        with pytest.raises(AdmissionError):
+            controller.admit()
+        assert controller.rejected_count == 1
+
+    def test_release_frees_slot(self):
+        controller = AdmissionController(max_streams=1)
+        lease = controller.admit()
+        controller.release(lease)
+        assert controller.has_capacity
+        controller.admit()  # must not raise
+
+    def test_double_release_rejected(self):
+        controller = AdmissionController(max_streams=1)
+        lease = controller.admit()
+        controller.release(lease)
+        with pytest.raises(AdmissionError):
+            controller.release(lease)
+
+    def test_unknown_lease_rejected(self):
+        controller = AdmissionController(max_streams=1)
+        with pytest.raises(AdmissionError):
+            controller.release(99)
+
+    def test_leases_are_unique(self):
+        controller = AdmissionController(max_streams=3)
+        leases = {controller.admit() for _ in range(3)}
+        assert len(leases) == 3
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(AdmissionError):
+            AdmissionController(max_streams=0)

@@ -1,0 +1,93 @@
+"""Unit tests for PeriodicTask."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.timers import PeriodicTask
+
+
+class TestPeriodicTask:
+    def test_fires_every_period(self, sim):
+        times = []
+        task = PeriodicTask(sim, 10.0, lambda: times.append(sim.now))
+        task.start()
+        sim.run(until=35.0)
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_start_delay_offsets_first_firing(self, sim):
+        times = []
+        task = PeriodicTask(sim, 10.0, lambda: times.append(sim.now))
+        task.start(start_delay=0.0)
+        sim.run(until=25.0)
+        assert times == [0.0, 10.0, 20.0]
+
+    def test_stop_halts_firings(self, sim):
+        times = []
+        task = PeriodicTask(sim, 5.0, lambda: times.append(sim.now))
+        task.start()
+        sim.run(until=12.0)
+        task.stop()
+        sim.run(until=50.0)
+        assert times == [5.0, 10.0]
+        assert not task.running
+
+    def test_stop_from_inside_callback(self, sim):
+        times = []
+
+        def callback():
+            times.append(sim.now)
+            if len(times) == 2:
+                task.stop()
+
+        task = PeriodicTask(sim, 5.0, callback)
+        task.start()
+        sim.run(until=100.0)
+        assert times == [5.0, 10.0]
+
+    def test_set_period_changes_cadence(self, sim):
+        times = []
+
+        def callback():
+            times.append(sim.now)
+            task.set_period(20.0)
+
+        task = PeriodicTask(sim, 5.0, callback)
+        task.start()
+        sim.run(until=50.0)
+        assert times == [5.0, 25.0, 45.0]
+
+    def test_fire_count(self, sim):
+        task = PeriodicTask(sim, 1.0, lambda: None)
+        task.start()
+        sim.run(until=7.5)
+        assert task.fire_count == 7
+
+    def test_double_start_is_noop(self, sim):
+        times = []
+        task = PeriodicTask(sim, 10.0, lambda: times.append(sim.now))
+        task.start()
+        task.start()
+        sim.run(until=15.0)
+        assert times == [10.0]
+
+    def test_invalid_period_rejected(self, sim):
+        with pytest.raises(SchedulingError):
+            PeriodicTask(sim, 0.0, lambda: None)
+        with pytest.raises(SchedulingError):
+            PeriodicTask(sim, -5.0, lambda: None)
+
+    def test_set_invalid_period_rejected(self, sim):
+        task = PeriodicTask(sim, 1.0, lambda: None)
+        with pytest.raises(SchedulingError):
+            task.set_period(0.0)
+
+    def test_restart_after_stop(self, sim):
+        times = []
+        task = PeriodicTask(sim, 5.0, lambda: times.append(sim.now))
+        task.start()
+        sim.run(until=6.0)
+        task.stop()
+        sim.run(until=20.0)
+        task.start()
+        sim.run(until=26.0)
+        assert times == [5.0, 25.0]

@@ -1,0 +1,121 @@
+"""Unit tests for the SNMP statistics modules and the collection service."""
+
+import pytest
+
+from repro.database.records import LinkEntry
+from repro.database.store import ServiceDatabase
+from repro.errors import SnmpError
+from repro.sim.engine import Simulator
+from repro.snmp.collector import NodeStatisticsModule, StatisticsService
+
+
+def make_db(topology) -> ServiceDatabase:
+    database = ServiceDatabase()
+    for link in topology.links():
+        database.register_link(
+            LinkEntry(
+                link_name=link.name,
+                endpoints=link.endpoints,
+                total_bandwidth_mbps=link.capacity_mbps,
+            )
+        )
+    return database
+
+
+class TestNodeStatisticsModule:
+    def test_first_poll_is_baseline_only(self, grnet):
+        database = make_db(grnet)
+        module = NodeStatisticsModule(grnet, "U2", database.limited_access())
+        assert module.collect(0.0) == {}
+        assert module.samples_written == 0
+
+    def test_second_poll_writes_utilization(self, grnet):
+        grnet.link_named("Patra-Athens").set_background_mbps(1.0)
+        database = make_db(grnet)
+        module = NodeStatisticsModule(grnet, "U2", database.limited_access())
+        module.collect(0.0)
+        written = module.collect(60.0)
+        stats = written["Patra-Athens"]
+        assert stats.used_mbps == pytest.approx(1.0, rel=1e-3)
+        assert stats.utilization == pytest.approx(0.5, rel=1e-3)
+        assert stats.timestamp == 60.0
+        assert database.link_entry("Patra-Athens").used_mbps == pytest.approx(1.0, rel=1e-3)
+
+    def test_rate_averaged_over_interval(self, grnet):
+        link = grnet.link_named("Patra-Athens")
+        database = make_db(grnet)
+        module = NodeStatisticsModule(grnet, "U2", database.limited_access())
+        module.collect(0.0)
+        link.set_background_mbps(2.0)
+        module.agent.advance(30.0)  # 30 s at 2 Mbps
+        link.set_background_mbps(0.0)
+        written = module.collect(60.0)  # 30 s idle
+        assert written["Patra-Athens"].used_mbps == pytest.approx(1.0, rel=1e-3)
+
+    def test_non_positive_interval_rejected(self, grnet):
+        database = make_db(grnet)
+        module = NodeStatisticsModule(grnet, "U2", database.limited_access())
+        module.collect(10.0)
+        with pytest.raises(SnmpError):
+            module.collect(10.0)
+
+    def test_utilization_capped_at_one(self, grnet):
+        grnet.link_named("Patra-Athens").set_background_mbps(5.0)  # clamps to 2
+        database = make_db(grnet)
+        module = NodeStatisticsModule(grnet, "U2", database.limited_access())
+        module.collect(0.0)
+        written = module.collect(60.0)
+        assert written["Patra-Athens"].utilization <= 1.0
+
+
+class TestStatisticsService:
+    def test_periodic_collection_updates_all_links(self, grnet):
+        sim = Simulator()
+        for link in grnet.links():
+            link.set_background_mbps(0.25 * link.capacity_mbps)
+        database = make_db(grnet)
+        service = StatisticsService(sim, grnet, database.limited_access(), period_s=60.0)
+        service.start()
+        sim.run(until=130.0)
+        for entry in database.link_entries():
+            assert entry.latest_stats is not None
+            assert entry.utilization == pytest.approx(0.25, rel=1e-3)
+
+    def test_one_module_per_node(self, grnet):
+        sim = Simulator()
+        database = make_db(grnet)
+        service = StatisticsService(sim, grnet, database.limited_access())
+        assert len(service.modules) == grnet.node_count
+
+    def test_stop_halts_updates(self, grnet):
+        sim = Simulator()
+        grnet.link_named("Patra-Athens").set_background_mbps(1.0)
+        database = make_db(grnet)
+        service = StatisticsService(sim, grnet, database.limited_access(), period_s=60.0)
+        service.start()
+        sim.run(until=70.0)
+        stamp = database.link_entry("Patra-Athens").latest_stats.timestamp
+        service.stop()
+        sim.run(until=700.0)
+        assert database.link_entry("Patra-Athens").latest_stats.timestamp == stamp
+
+    def test_invalid_period_rejected(self, grnet):
+        sim = Simulator()
+        database = make_db(grnet)
+        with pytest.raises(SnmpError):
+            StatisticsService(sim, grnet, database.limited_access(), period_s=0.0)
+
+    def test_stats_track_changing_traffic(self, grnet):
+        sim = Simulator()
+        database = make_db(grnet)
+        link = grnet.link_named("Patra-Athens")
+        service = StatisticsService(sim, grnet, database.limited_access(), period_s=60.0)
+        service.start()
+        link.set_background_mbps(0.4)
+        sim.run(until=61.0)
+        first = database.link_entry("Patra-Athens").used_mbps
+        link.set_background_mbps(1.6)
+        sim.run(until=121.0)
+        second = database.link_entry("Patra-Athens").used_mbps
+        assert first == pytest.approx(0.4, rel=1e-2)
+        assert second == pytest.approx(1.6, rel=1e-2)

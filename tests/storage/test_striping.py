@@ -1,0 +1,102 @@
+"""Unit tests for striping placement math (paper Figure 3)."""
+
+import pytest
+
+from repro.errors import StripingError
+from repro.storage.striping import (
+    StripingLayout,
+    cluster_count,
+    cluster_sizes,
+    striping_layout,
+)
+
+
+class TestClusterCount:
+    def test_exact_division(self):
+        assert cluster_count(100.0, 25.0) == 4
+
+    def test_rounds_up(self):
+        assert cluster_count(101.0, 25.0) == 5
+
+    def test_video_smaller_than_cluster(self):
+        assert cluster_count(10.0, 64.0) == 1
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(StripingError):
+            cluster_count(0.0, 25.0)
+        with pytest.raises(StripingError):
+            cluster_count(100.0, 0.0)
+
+    def test_float_dust_does_not_add_cluster(self):
+        # 0.1 * 3 = 0.30000000000000004 must still be 3 clusters of 0.1.
+        assert cluster_count(0.1 * 3, 0.1) == 3
+
+
+class TestClusterSizes:
+    def test_all_full_when_exact(self):
+        assert cluster_sizes(100.0, 25.0) == [25.0, 25.0, 25.0, 25.0]
+
+    def test_partial_tail(self):
+        sizes = cluster_sizes(110.0, 25.0)
+        assert sizes[:4] == [25.0] * 4
+        assert sizes[4] == pytest.approx(10.0)
+
+    def test_sizes_sum_to_video_size(self):
+        assert sum(cluster_sizes(137.3, 16.0)) == pytest.approx(137.3)
+
+    def test_single_cluster_video(self):
+        assert cluster_sizes(10.0, 64.0) == [10.0]
+
+
+class TestStripingLayoutFunction:
+    def test_n_greater_than_p(self):
+        # "if n > p then one video part is stored in each one of the first
+        # p hard disks"
+        assert striping_layout(part_count=3, disk_count=5) == [0, 1, 2]
+
+    def test_n_less_than_p_wraps_cyclically(self):
+        # "the rest p-n parts are distributed to the same disks starting
+        # from disk 1"
+        assert striping_layout(part_count=7, disk_count=3) == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_n_equals_p(self):
+        assert striping_layout(part_count=4, disk_count=4) == [0, 1, 2, 3]
+
+    def test_single_disk(self):
+        assert striping_layout(part_count=4, disk_count=1) == [0, 0, 0, 0]
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(StripingError):
+            striping_layout(0, 3)
+        with pytest.raises(StripingError):
+            striping_layout(3, 0)
+
+
+class TestStripingLayoutObject:
+    def test_for_video_builds_assignments(self):
+        layout = StripingLayout.for_video("v", size_mb=110.0, cluster_mb=25.0, disk_count=3)
+        assert layout.cluster_count == 5
+        assert [disk for _, disk, _ in layout.assignments] == [0, 1, 2, 0, 1]
+
+    def test_disk_of(self):
+        layout = StripingLayout.for_video("v", 110.0, 25.0, 3)
+        assert layout.disk_of(0) == 0
+        assert layout.disk_of(4) == 1
+        with pytest.raises(StripingError):
+            layout.disk_of(5)
+
+    def test_clusters_on_disk(self):
+        layout = StripingLayout.for_video("v", 110.0, 25.0, 3)
+        assert layout.clusters_on_disk(0) == [0, 3]
+        assert layout.clusters_on_disk(2) == [2]
+
+    def test_per_disk_mb_accounts_partial_tail(self):
+        layout = StripingLayout.for_video("v", 110.0, 25.0, 3)
+        usage = layout.per_disk_mb()
+        assert usage[0] == pytest.approx(50.0)
+        assert usage[1] == pytest.approx(35.0)  # cluster 1 (25) + tail (10)
+        assert usage[2] == pytest.approx(25.0)
+
+    def test_total_mb_equals_video_size(self):
+        layout = StripingLayout.for_video("v", 137.3, 16.0, 4)
+        assert layout.total_mb() == pytest.approx(137.3)

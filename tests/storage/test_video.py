@@ -1,0 +1,40 @@
+"""Unit tests for the VideoTitle model."""
+
+import pytest
+
+from repro.storage.video import VideoTitle
+
+
+class TestVideoTitle:
+    def test_bitrate_derived_from_size_and_duration(self):
+        video = VideoTitle("v", size_mb=900.0, duration_s=5400.0)
+        assert video.bitrate_mbps == pytest.approx(900 * 8 / 5400)
+
+    def test_explicit_bitrate_kept(self):
+        video = VideoTitle("v", size_mb=900.0, duration_s=5400.0, bitrate_mbps=2.5)
+        assert video.bitrate_mbps == 2.5
+
+    def test_name_defaults_to_id(self):
+        assert VideoTitle("v", 1.0, 1.0).name == "v"
+        assert VideoTitle("v", 1.0, 1.0, name="Movie").name == "Movie"
+
+    def test_invalid_fields_rejected(self):
+        with pytest.raises(ValueError):
+            VideoTitle("", 1.0, 1.0)
+        with pytest.raises(ValueError):
+            VideoTitle("v", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            VideoTitle("v", 1.0, 0.0)
+
+    def test_cluster_count_helper(self):
+        video = VideoTitle("v", size_mb=110.0, duration_s=600.0)
+        assert video.cluster_count(25.0) == 5
+
+    def test_playback_seconds_per_mb(self):
+        video = VideoTitle("v", size_mb=600.0, duration_s=1200.0)
+        assert video.playback_seconds_per_mb() == pytest.approx(2.0)
+
+    def test_frozen(self):
+        video = VideoTitle("v", 1.0, 1.0)
+        with pytest.raises(AttributeError):
+            video.size_mb = 2.0  # type: ignore[misc]

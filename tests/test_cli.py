@@ -1,0 +1,154 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args([])
+        assert excinfo.value.code == 2
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_experiment_id_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "Z"])
+
+    def test_lvn_time_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lvn", "--time", "noon"])
+
+
+class TestCaseStudy:
+    def test_prints_tables_and_decisions(self, capsys):
+        assert main(["case-study"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Table 3" in out
+        for exp in ("Experiment A", "Experiment B", "Experiment C", "Experiment D"):
+            assert exp in out
+        assert "Erratum" in out  # the Experiment A note
+
+
+class TestExperiment:
+    @pytest.mark.parametrize("exp_id", ["A", "B", "C", "D"])
+    def test_each_experiment_runs(self, capsys, exp_id):
+        assert main(["experiment", exp_id]) == 0
+        out = capsys.readouterr().out
+        assert "Decision (ours)" in out
+        assert "Dijkstra step table" in out
+
+    def test_experiment_a_reports_correction(self, capsys):
+        main(["experiment", "A"])
+        out = capsys.readouterr().out
+        assert "download from U4" in out
+        assert "paper printed U5" in out
+
+
+class TestLvn:
+    def test_default_8am_column(self, capsys):
+        assert main(["lvn"]) == 0
+        out = capsys.readouterr().out
+        assert "Patra-Athens" in out
+        assert "0.0831" in out  # 8am exact value 0.083158
+
+    def test_time_option(self, capsys):
+        assert main(["lvn", "--time", "4pm"]) == 0
+        out = capsys.readouterr().out
+        assert "1.5440" in out  # Thessaloniki-Athens @4pm
+
+    def test_normalization_constant_option(self, capsys):
+        main(["lvn", "--normalization-constant", "5"])
+        out = capsys.readouterr().out
+        assert "K=5" in out
+
+
+class TestSimulate:
+    def test_small_run_prints_metrics(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--catalog-size", "6",
+                "--requests-per-node", "4",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sessions" in out
+        assert "transport cost" in out
+
+    def test_policy_options_accepted(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--catalog-size", "6",
+                "--requests-per-node", "3",
+                "--cache", "lru",
+                "--selection", "minhop",
+                "--switching", "never",
+            ]
+        )
+        assert code == 0
+
+    def test_bad_cache_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--cache", "magic"])
+
+    def test_report_flag_prints_analysis(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--catalog-size", "4",
+                "--requests-per-node", "3",
+                "--report",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Run analysis" in out
+        assert "Sources (by bytes served):" in out
+
+    def test_custom_topology_file(self, capsys, tmp_path):
+        path = tmp_path / "net.json"
+        assert main(["export-grnet", str(path), "--time", "8am"]) == 0
+        code = main(
+            [
+                "simulate",
+                "--topology", str(path),
+                "--catalog-size", "4",
+                "--requests-per-node", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sessions" in out
+
+
+class TestExportGrnet:
+    def test_export_writes_valid_topology(self, capsys, tmp_path):
+        from repro.io import load_topology
+
+        path = tmp_path / "grnet.json"
+        assert main(["export-grnet", str(path)]) == 0
+        topology = load_topology(path)
+        assert topology.node_count == 6
+        assert topology.link_count == 7
+        assert all(link.background_mbps == 0.0 for link in topology.links())
+
+    def test_export_with_traffic_column(self, tmp_path):
+        from repro.io import load_topology
+
+        path = tmp_path / "grnet-8am.json"
+        assert main(["export-grnet", str(path), "--time", "8am"]) == 0
+        topology = load_topology(path)
+        assert topology.link_named("Patra-Athens").background_mbps == pytest.approx(0.2)
+
+    def test_bad_time_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["export-grnet", str(tmp_path / "x.json"), "--time", "noon"])

@@ -1,0 +1,61 @@
+"""Unit tests for the exception hierarchy: every library error must be
+catchable as ReproError, and specific handlers must not swallow siblings."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.SimulationError,
+    errors.SchedulingError,
+    errors.TopologyError,
+    errors.LinkCapacityError,
+    errors.FlowError,
+    errors.DatabaseError,
+    errors.AccessDeniedError,
+    errors.DuplicateEntryError,
+    errors.MissingEntryError,
+    errors.StorageError,
+    errors.StripingError,
+    errors.CacheError,
+    errors.AdmissionError,
+    errors.RoutingError,
+    errors.TitleUnavailableError,
+    errors.ServiceError,
+    errors.WorkloadError,
+    errors.SnmpError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_type", ALL_ERRORS)
+    def test_everything_is_a_repro_error(self, exc_type):
+        assert issubclass(exc_type, errors.ReproError)
+        with pytest.raises(errors.ReproError):
+            raise exc_type("boom")
+
+    def test_scheduling_is_simulation(self):
+        assert issubclass(errors.SchedulingError, errors.SimulationError)
+
+    def test_access_and_duplicates_are_database(self):
+        assert issubclass(errors.AccessDeniedError, errors.DatabaseError)
+        assert issubclass(errors.DuplicateEntryError, errors.DatabaseError)
+        assert issubclass(errors.MissingEntryError, errors.DatabaseError)
+
+    def test_striping_and_cache_are_storage(self):
+        assert issubclass(errors.StripingError, errors.StorageError)
+        assert issubclass(errors.CacheError, errors.StorageError)
+
+    def test_title_unavailable_is_routing(self):
+        assert issubclass(errors.TitleUnavailableError, errors.RoutingError)
+
+    def test_siblings_do_not_cross_catch(self):
+        with pytest.raises(errors.StorageError):
+            try:
+                raise errors.StripingError("x")
+            except errors.RoutingError:  # must NOT catch
+                pytest.fail("RoutingError handler caught a StripingError")
+
+    def test_repro_error_not_a_builtin_alias(self):
+        assert not issubclass(errors.ReproError, (ValueError, RuntimeError))

@@ -1,0 +1,63 @@
+"""Unit tests for arrival processes."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.arrivals import PoissonArrivals, UniformArrivals
+
+
+class TestPoissonArrivals:
+    def test_times_sorted_and_within_horizon(self):
+        arrivals = PoissonArrivals(0.1, rng=random.Random(3))
+        times = arrivals.times_until(1000.0)
+        assert times == sorted(times)
+        assert all(0.0 < t <= 1000.0 for t in times)
+
+    def test_mean_rate_approximated(self):
+        arrivals = PoissonArrivals(0.05, rng=random.Random(9))
+        times = arrivals.times_until(100_000.0)
+        assert len(times) == pytest.approx(5000, rel=0.1)
+
+    def test_deterministic_under_seed(self):
+        a = PoissonArrivals(0.2, rng=random.Random(1)).times_until(500.0)
+        b = PoissonArrivals(0.2, rng=random.Random(1)).times_until(500.0)
+        assert a == b
+
+    def test_start_offsets_window(self):
+        arrivals = PoissonArrivals(0.5, rng=random.Random(2))
+        times = arrivals.times_until(200.0, start=100.0)
+        assert all(100.0 < t <= 200.0 for t in times)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(WorkloadError):
+            PoissonArrivals(0.0)
+
+    def test_horizon_before_start_rejected(self):
+        with pytest.raises(WorkloadError):
+            PoissonArrivals(1.0).times_until(5.0, start=10.0)
+
+    def test_stream_is_endless_and_increasing(self):
+        stream = PoissonArrivals(1.0, rng=random.Random(4)).stream()
+        times = [next(stream) for _ in range(100)]
+        assert times == sorted(times)
+        assert len(set(times)) == 100
+
+
+class TestUniformArrivals:
+    def test_even_spacing(self):
+        times = UniformArrivals(10.0).times_until(35.0)
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_start_offset(self):
+        times = UniformArrivals(10.0).times_until(35.0, start=15.0)
+        assert times == [25.0, 35.0]
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(WorkloadError):
+            UniformArrivals(0.0)
+
+    def test_stream(self):
+        stream = UniformArrivals(2.5).stream(start=10.0)
+        assert [next(stream) for _ in range(3)] == [12.5, 15.0, 17.5]

@@ -1,0 +1,76 @@
+"""Unit tests for the Zipf popularity model."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.zipf import ZipfSampler, zipf_weights
+
+
+class TestZipfWeights:
+    def test_weights_normalised(self):
+        assert sum(zipf_weights(100, 0.9)) == pytest.approx(1.0)
+
+    def test_weights_decreasing(self):
+        weights = zipf_weights(50, 1.0)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_exponent_zero_is_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert all(w == pytest.approx(0.1) for w in weights)
+
+    def test_classic_ratio_at_s1(self):
+        weights = zipf_weights(10, 1.0)
+        assert weights[0] / weights[1] == pytest.approx(2.0)
+        assert weights[0] / weights[4] == pytest.approx(5.0)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(WorkloadError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(WorkloadError):
+            zipf_weights(10, -0.5)
+
+
+class TestZipfSampler:
+    def test_samples_come_from_catalog(self):
+        items = [f"t{i}" for i in range(20)]
+        sampler = ZipfSampler(items, rng=random.Random(1))
+        assert set(sampler.sample_many(200)) <= set(items)
+
+    def test_rank_one_dominates(self):
+        items = [f"t{i}" for i in range(10)]
+        sampler = ZipfSampler(items, exponent=1.2, rng=random.Random(7))
+        draws = sampler.sample_many(3000)
+        counts = {item: draws.count(item) for item in items}
+        assert counts["t0"] == max(counts.values())
+        assert counts["t0"] > counts["t9"] * 2
+
+    def test_deterministic_under_seed(self):
+        items = ["a", "b", "c"]
+        first = ZipfSampler(items, rng=random.Random(5)).sample_many(50)
+        second = ZipfSampler(items, rng=random.Random(5)).sample_many(50)
+        assert first == second
+
+    def test_probability_of_rank(self):
+        sampler = ZipfSampler(["a", "b"], exponent=1.0, rng=random.Random(0))
+        assert sampler.probability_of_rank(1) == pytest.approx(2.0 / 3.0)
+        assert sampler.probability_of_rank(2) == pytest.approx(1.0 / 3.0)
+        with pytest.raises(WorkloadError):
+            sampler.probability_of_rank(3)
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler([])
+
+    def test_negative_count_rejected(self):
+        sampler = ZipfSampler(["a"], rng=random.Random(0))
+        with pytest.raises(WorkloadError):
+            sampler.sample_many(-1)
+
+    def test_empirical_matches_theoretical(self):
+        items = [f"t{i}" for i in range(5)]
+        sampler = ZipfSampler(items, exponent=0.8, rng=random.Random(11))
+        draws = sampler.sample_many(20000)
+        freq = draws.count("t0") / len(draws)
+        assert freq == pytest.approx(sampler.probability_of_rank(1), abs=0.02)
