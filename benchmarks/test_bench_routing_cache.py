@@ -1,0 +1,166 @@
+"""Routing-cache throughput: decisions/sec cold vs. warm, cache on vs. off.
+
+The VRA's hot path — LVN weight table (equations 1-4) plus a Dijkstra run —
+only has new inputs when the routing epoch advances (an SNMP round lands in
+the limited-access database, a link fails, the topology grows).  The
+epoch-versioned routing cache reuses both between epochs, which this
+benchmark quantifies on the paper's GRNET backbone and on a larger
+synthetic backbone, and verifies bit-for-bit decision equivalence on a
+full flash-crowd scenario with dynamic switching.
+"""
+
+import time
+
+import pytest
+
+from repro.core.service import ServiceConfig, VoDService
+from repro.experiments.harness import ServiceExperiment, build_service
+from repro.experiments.report import render_routing_cache
+from repro.network.grnet import build_grnet_topology
+from repro.network.topologies import random_topology
+from repro.sim.engine import Simulator
+from repro.storage.video import VideoTitle
+from repro.workload.scenarios import flash_crowd_scenario
+
+MOVIE = VideoTitle("movie", size_mb=600.0, duration_s=3_600.0)
+
+#: ≥50 nodes per the acceptance criteria; chords keep Dijkstra non-trivial.
+SYNTHETIC_NODES = 60
+SYNTHETIC_EXTRA_LINKS = 60
+
+
+def build_cache_service(topology_factory, origin_uid, cache_size):
+    service = VoDService(
+        Simulator(),
+        topology_factory(),
+        ServiceConfig(routing_cache_size=cache_size),
+    )
+    service.seed_title(origin_uid, MOVIE)
+    service.start()
+    return service
+
+
+def decisions_per_second(service, homes, count):
+    start = time.perf_counter()
+    for i in range(count):
+        service.decide(homes[i % len(homes)], "movie")
+    return count / (time.perf_counter() - start)
+
+
+def measure_topology(topology_factory, origin_uid, homes, count):
+    """(cache-off rate, warm cache-on rate, cache stats) for one topology."""
+    off = build_cache_service(topology_factory, origin_uid, cache_size=0)
+    on = build_cache_service(topology_factory, origin_uid, cache_size=128)
+    # Warm the cache (and fault in every home's tree) before timing.
+    for home in homes:
+        on.decide(home, "movie")
+    off_rate = decisions_per_second(off, homes, count)
+    on_rate = decisions_per_second(on, homes, count)
+    return off_rate, on_rate, on.vra.cache_stats
+
+
+def test_routing_cache_speedup_grnet(benchmark, show):
+    homes = ["U1", "U2", "U3", "U5", "U6"]
+    off_rate, on_rate, stats = benchmark.pedantic(
+        measure_topology,
+        args=(build_grnet_topology, "U4", homes, 3_000),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        f"Routing cache [GRNET, 6 nodes]: {off_rate:,.0f} decisions/s cache-off "
+        f"vs {on_rate:,.0f} warm cache-on ({on_rate / off_rate:.1f}x)\n"
+        + render_routing_cache(stats, title="GRNET cache counters")
+    )
+    assert on_rate > off_rate
+
+
+def test_routing_cache_speedup_synthetic(benchmark, show):
+    factory = lambda: random_topology(  # noqa: E731
+        SYNTHETIC_NODES, extra_links=SYNTHETIC_EXTRA_LINKS
+    )
+    homes = [f"N{i}" for i in range(1, SYNTHETIC_NODES)]
+    off_rate, on_rate, stats = benchmark.pedantic(
+        measure_topology,
+        args=(factory, "N0", homes, 2_000),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        f"Routing cache [synthetic, {SYNTHETIC_NODES} nodes]: "
+        f"{off_rate:,.0f} decisions/s cache-off vs {on_rate:,.0f} warm "
+        f"cache-on ({on_rate / off_rate:.1f}x)\n"
+        + render_routing_cache(stats, title="Synthetic cache counters")
+    )
+    # Acceptance bar: ≥5x decisions/sec on the warm path vs. cache-off.
+    assert on_rate >= 5.0 * off_rate
+    assert stats.hits > 0 and stats.misses > 0
+
+
+def run_flash_crowd(cache_size):
+    """Flash crowd with dynamic switching; returns (decisions, service)."""
+    scenario = flash_crowd_scenario(
+        "U2", VideoTitle("special", size_mb=200.0, duration_s=1_200.0),
+        viewer_count=15, start_s=300.0, ramp_s=1_800.0,
+    )
+    experiment = ServiceExperiment(
+        name=f"cache-equiv-{cache_size}",
+        scenario=scenario,
+        config=ServiceConfig(
+            cluster_mb=50.0,
+            disk_count=2,
+            disk_capacity_mb=1_000.0,
+            max_streams=64,
+            routing_cache_size=cache_size,
+        ),
+        seed_origin_uids=["U4"],
+        run_until=5 * 3600.0,
+    )
+    service = build_service(experiment)
+    decisions = []
+
+    def capture(decide):
+        def wrapped():
+            decision = decide()
+            decisions.append(
+                (
+                    decision.home_uid,
+                    decision.title_id,
+                    decision.chosen_uid,
+                    decision.path.nodes,
+                    decision.cost,
+                )
+            )
+            return decision
+
+        return wrapped
+
+    service.decide_wrapper = capture
+    service.start()
+    for event in scenario.events:
+        service.sim.schedule_at(
+            event.time_s,
+            lambda e=event: service.request_by_home(e.home_uid, e.title_id, e.client_id),
+            name=f"request:{event.client_id}",
+        )
+    service.sim.run(until=5 * 3600.0)
+    return decisions, service
+
+
+def test_routing_cache_equivalence_flash_crowd(benchmark, show):
+    def run_pair():
+        return run_flash_crowd(128), run_flash_crowd(0)
+
+    (cached_decisions, cached_service), (plain_decisions, _) = benchmark.pedantic(
+        run_pair, rounds=1, iterations=1
+    )
+    assert len(cached_decisions) == len(plain_decisions) > 0
+    assert cached_decisions == plain_decisions  # chosen_uid, path, cost
+
+    stats = cached_service.vra.cache_stats
+    show(
+        f"Flash-crowd equivalence: {len(cached_decisions)} VRA decisions "
+        f"bit-identical with cache on/off\n"
+        + render_routing_cache(stats, title="Flash-crowd cache counters")
+    )
+    assert stats.hits > 0

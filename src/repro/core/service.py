@@ -81,6 +81,16 @@ class ServiceConfig:
             deployable service needs it; set False for exact Figure 2
             behaviour (the hazard is pinned by a failure-injection test).
         vra_trace: Record paper-style Dijkstra step tables per decision.
+        routing_cache_size: LRU bound on the epoch-versioned routing
+            cache's Dijkstra trees (see :mod:`repro.network.routing.cache`).
+            Between routing epochs (SNMP database writes, link failures,
+            topology growth) the VRA reuses the LVN table and per-home
+            shortest-path trees instead of recomputing them — decisions
+            are bit-for-bit identical either way.  ``0`` disables the
+            cache and restores recompute-per-decision behaviour exactly.
+            The cache is also auto-disabled when
+            ``use_server_load_in_vra`` is on, because live stream-slot
+            occupancy feeds the weights without a version counter.
     """
 
     cluster_mb: float = 64.0
@@ -97,6 +107,7 @@ class ServiceConfig:
     evict_until_fits: bool = False
     pin_seeded_titles: bool = True
     vra_trace: bool = False
+    routing_cache_size: int = 128
     #: Per-node hardware overrides ("we propose the use of as many disks
     #: as possible" — sites differ): node uid -> subset of
     #: {disk_count, disk_capacity_mb, max_streams}.  Unlisted nodes use
@@ -168,12 +179,17 @@ class VoDService:
             self.database.limited_access(),
             period_s=self.config.snmp_period_s,
         )
+        # Live server load feeds the weights without a version counter, so
+        # epoch caching cannot see those changes; fall back to recompute.
+        cacheable = not self.config.use_server_load_in_vra
         self.vra = VirtualRoutingAlgorithm(
             topology,
             used_of=self._reported_used if self.config.use_reported_stats else None,
             normalization_constant=self.config.normalization_constant,
             node_load=self._server_load if self.config.use_server_load_in_vra else None,
             trace=self.config.vra_trace,
+            epoch_of=self.routing_epoch if cacheable else None,
+            cache_size=self.config.routing_cache_size,
         )
         self._started = False
         #: Optional per-session wrapper around the decide function, used by
@@ -368,6 +384,64 @@ class VoDService:
     # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
+    def routing_epoch(self) -> Tuple[str, int, int]:
+        """Cheap version token over every VRA routing input.
+
+        The token changes whenever a decision could differ from the
+        previous one: on the paper-faithful path (``use_reported_stats``)
+        that is a limited-access database write (SNMP collector rounds,
+        admin updates) or a structural change (link online/offline,
+        runtime expansion); on the ground-truth path it additionally
+        tracks every link-usage mutation.  Equal tokens guarantee
+        bit-identical LVN tables and Dijkstra trees, which is what lets
+        the routing cache reuse them safely.
+        """
+        if self.config.use_reported_stats:
+            return (
+                "db",
+                self.database.link_stats_version,
+                self.topology.state_version,
+            )
+        return (
+            "net",
+            self.topology.traffic_version,
+            self.topology.state_version,
+        )
+
+    def snapshot(self) -> Dict[str, object]:
+        """One-call operational snapshot of the running service.
+
+        Includes the routing-cache hit/miss/invalidation counters, so
+        operators (and the benchmark reports) can see how often the VRA
+        actually recomputed.  Also records the snapshot into the event
+        trace when tracing is enabled.
+        """
+        cache_stats = getattr(self.vra, "cache_stats", None)
+        cache_dict = cache_stats.as_dict() if cache_stats is not None else None
+        snapshot: Dict[str, object] = {
+            "time": self.sim.now,
+            "server_count": len(self.servers),
+            "link_count": self.topology.link_count,
+            "session_count": len(self.sessions),
+            "completed_sessions": len(self.completed_sessions()),
+            "active_flows": self.flows.active_count,
+            "vra_decisions": getattr(self.vra, "decision_count", 0),
+            "routing_epoch": self.routing_epoch(),
+            "routing_cache": cache_dict,
+        }
+        cache_label = (
+            f"cache {cache_dict['hit_rate']:.2%} hit rate"
+            if cache_dict is not None
+            else "cache off"
+        )
+        self.tracer.record(
+            self.sim.now,
+            "service.snapshot",
+            f"{snapshot['vra_decisions']} decision(s), {cache_label}",
+            **{k: v for k, v in snapshot.items() if k != "time"},
+        )
+        return snapshot
+
     def completed_sessions(self) -> List[SessionRecord]:
         """Finished session records (completed or failed)."""
         return [record for record in self.sessions if record.request.finished]

@@ -18,7 +18,7 @@ path — which is what the case-study benchmarks print.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence
 
 from repro.core.lvn import (
     DEFAULT_NORMALIZATION_CONSTANT,
@@ -26,13 +26,22 @@ from repro.core.lvn import (
     UsedBandwidthFn,
     weight_table,
 )
-from repro.errors import RoutingError, TitleUnavailableError
+from repro.errors import ReproError, RoutingError, TitleUnavailableError
+from repro.network.routing.cache import (
+    DEFAULT_TREE_CAPACITY,
+    RoutingCache,
+    RoutingCacheStats,
+)
 from repro.network.routing.dijkstra import DijkstraResult, dijkstra
 from repro.network.routing.paths import Path
 from repro.network.topology import Topology
 
 #: Poll callback: may a given server currently provide the title?
 PollFn = Callable[[str], bool]
+
+#: Routing-epoch provider: an opaque hashable token that changes whenever
+#: any input of the LVN equations or Dijkstra could have changed.
+EpochFn = Callable[[], Hashable]
 
 
 @dataclass(frozen=True)
@@ -88,6 +97,15 @@ class VirtualRoutingAlgorithm:
             configuration factor(s)"); None gives the paper's exact eq. 2.
         trace: When True, every Dijkstra run records the paper-style step
             table (Tables 4-5) into the decision's ``dijkstra_result``.
+        epoch_of: Optional routing-epoch provider.  When given (and
+            ``cache_size > 0``) the LVN table and Dijkstra trees are
+            memoized per epoch — a cache hit returns the same decision
+            bit-for-bit as a cold run, because the provider's contract is
+            to change whenever any routing input could have changed.
+            None (the default) recomputes everything per decision,
+            exactly the paper's Figure 5.
+        cache_size: LRU bound on cached Dijkstra trees; ``0`` disables
+            caching entirely even when ``epoch_of`` is given.
     """
 
     def __init__(
@@ -97,24 +115,72 @@ class VirtualRoutingAlgorithm:
         normalization_constant: float = DEFAULT_NORMALIZATION_CONSTANT,
         node_load: Optional[NodeLoadFn] = None,
         trace: bool = False,
+        epoch_of: Optional[EpochFn] = None,
+        cache_size: int = DEFAULT_TREE_CAPACITY,
     ):
         self._topology = topology
         self._used_of = used_of
         self._k = normalization_constant
         self._node_load = node_load
         self._trace = trace
+        self._epoch_of = epoch_of
+        if cache_size < 0:
+            raise ReproError(
+                f"routing cache size must be >= 0, got {cache_size!r}"
+            )
+        self.cache: Optional[RoutingCache] = (
+            RoutingCache(max_trees=cache_size)
+            if epoch_of is not None and cache_size > 0
+            else None
+        )
         self.decision_count = 0
+
+    @property
+    def cache_stats(self) -> Optional[RoutingCacheStats]:
+        """Hit/miss/invalidation counters, or None when caching is off."""
+        return self.cache.stats if self.cache is not None else None
 
     def weights(self) -> Dict[str, float]:
         """Current LVN table ("Calculate the Link Validation Number for
         each network link")."""
+        if self.cache is not None:
+            return self.cache.weights(self._epoch_of(), self._compute_weights)
+        return self._compute_weights()
+
+    def _compute_weights(self) -> Dict[str, float]:
         return weight_table(self._topology, self._used_of, self._k, self._node_load)
+
+    def _routing_state(self, home_uid: str) -> "tuple[Dict[str, float], DijkstraResult]":
+        """The LVN table and shortest-path tree for one decision.
+
+        With caching on, both come from the routing cache under a single
+        epoch token fetched once (so the pair is always mutually
+        consistent); cached decisions share the table/tree objects, which
+        callers treat as read-only audit state.
+        """
+        if self.cache is None:
+            weights = self._compute_weights()
+            return weights, self._run_dijkstra(home_uid, weights)
+        epoch = self._epoch_of()
+        weights = self.cache.weights(epoch, self._compute_weights)
+        result = self.cache.tree(
+            epoch, home_uid, lambda: self._run_dijkstra(home_uid, weights)
+        )
+        return weights, result
+
+    def _run_dijkstra(self, home_uid: str, weights: Dict[str, float]) -> DijkstraResult:
+        return dijkstra(
+            self._topology,
+            home_uid,
+            weight=lambda link: weights[link.name],
+            trace=self._trace,
+        )
 
     def decide(
         self,
         home_uid: str,
         title_id: str,
-        holders: Sequence[str],
+        holders: Iterable[str],
         poll: Optional[PollFn] = None,
     ) -> VraDecision:
         """Run Figure 5 for one request.
@@ -124,7 +190,9 @@ class VirtualRoutingAlgorithm:
                 the client's IP by the service layer).
             title_id: The requested video title.
             holders: Servers that have the title stored (the database's
-                title-location list).
+                title-location list).  Any iterable is accepted; it is
+                consumed once, duplicates are dropped, and first-seen
+                order is preserved.
             poll: Availability poll; servers answering False are excluded
                 ("Poll all of those servers to find out which ones can
                 provide the video").  Defaults to everyone-available.
@@ -137,7 +205,11 @@ class VirtualRoutingAlgorithm:
             RoutingError: If every holder polled out or none is reachable.
         """
         self.decision_count += 1
-        if not holders:
+        # Normalize once: the caller may hand us any iterable (generator,
+        # set, database list); one pass builds the ordered, deduplicated
+        # tuple every later step works from.
+        holder_list = tuple(dict.fromkeys(holders))
+        if not holder_list:
             raise TitleUnavailableError(
                 f"no server in the network has title {title_id!r}"
             )
@@ -145,7 +217,7 @@ class VirtualRoutingAlgorithm:
 
         # Figure 5: "IF the adjacent to the client video server can provide
         # the requested video THEN authorize ... QUIT".
-        if home_uid in holders and poll_fn(home_uid):
+        if home_uid in holder_list and poll_fn(home_uid):
             return VraDecision(
                 title_id=title_id,
                 home_uid=home_uid,
@@ -154,21 +226,22 @@ class VirtualRoutingAlgorithm:
                 path=Path(nodes=(home_uid,), cost=0.0),
             )
 
-        available = [uid for uid in holders if uid != home_uid and poll_fn(uid)]
-        polled_out = tuple(uid for uid in holders if uid != home_uid and uid not in available)
+        # Single pass: each remote holder is polled exactly once and lands
+        # in exactly one of the two buckets.
+        available: List[str] = []
+        rejected: List[str] = []
+        for uid in holder_list:
+            if uid == home_uid:
+                continue
+            (available if poll_fn(uid) else rejected).append(uid)
+        polled_out = tuple(rejected)
         if not available:
             raise RoutingError(
-                f"title {title_id!r}: every holder {list(holders)} polled "
+                f"title {title_id!r}: every holder {list(holder_list)} polled "
                 "out or is the (title-less) home server"
             )
 
-        weights = self.weights()
-        result = dijkstra(
-            self._topology,
-            home_uid,
-            weight=lambda link: weights[link.name],
-            trace=self._trace,
-        )
+        weights, result = self._routing_state(home_uid)
 
         candidate_paths: Dict[str, Path] = {}
         for uid in available:

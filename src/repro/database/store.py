@@ -25,6 +25,18 @@ class ServiceDatabase:
         self._links: Dict[str, LinkEntry] = {}
         self._titles: Dict[str, TitleInfo] = {}
         self._title_locations: Dict[str, Set[str]] = {}
+        self._link_stats_version = 0
+
+    @property
+    def link_stats_version(self) -> int:
+        """Monotonic counter bumped on every link-entry write (SNMP
+        collector rounds, admin updates, runtime link registration).
+
+        The paper-faithful VRA reads link usage from this database, so any
+        epoch that embeds this counter is guaranteed to change whenever the
+        VRA's routing inputs could have changed — the contract the
+        epoch-versioned routing cache relies on."""
+        return self._link_stats_version
 
     # ------------------------------------------------------------------ #
     # handles
@@ -62,6 +74,7 @@ class ServiceDatabase:
         if entry.link_name in self._links:
             raise DuplicateEntryError(f"link {entry.link_name!r} already registered")
         self._links[entry.link_name] = entry
+        self._link_stats_version += 1
         return entry
 
     def register_title(self, info: TitleInfo) -> TitleInfo:
@@ -172,6 +185,7 @@ class ServiceDatabase:
     def update_link_stats(self, link_name: str, stats: LinkStats) -> None:
         """Record the latest SNMP sample for a link."""
         self.link_entry(link_name).latest_stats = stats
+        self._link_stats_version += 1
 
     def update_server_config(self, server_uid: str, **attributes: object) -> None:
         """Update configuration attributes on a server entry.

@@ -15,6 +15,7 @@ from repro.experiments.casestudy import (
     compute_table3_lvn,
 )
 from repro.network import grnet
+from repro.network.routing.cache import RoutingCacheStats
 from repro.network.routing.dijkstra import DijkstraStep
 
 
@@ -66,6 +67,48 @@ def render_table3() -> str:
             row.append(f"{computed[link_name][t]:.4f} / {paper[link_name][t]:.4f}")
         rows.append(row)
     return render_table(headers, rows, title="Table 3 — Link Validation Numbers (eqs. 1-4)")
+
+
+def render_routing_cache(stats: Optional[RoutingCacheStats], title: str = "") -> str:
+    """Routing-cache counter table for experiment/benchmark reports.
+
+    Args:
+        stats: The VRA's cache counters; None renders a "cache off" stub
+            (baseline selection policies replace the VRA entirely).
+        title: Table caption; defaults to a generic one.
+    """
+    caption = title or "Routing cache — epoch-versioned LVN/Dijkstra reuse"
+    if stats is None:
+        return f"{caption}\n(routing cache disabled)"
+    headers = ["Layer", "Hits", "Misses", "Hit rate"]
+    weight_total = stats.weight_hits + stats.weight_misses
+    tree_total = stats.tree_hits + stats.tree_misses
+    rows = [
+        [
+            "LVN weight table",
+            str(stats.weight_hits),
+            str(stats.weight_misses),
+            f"{stats.weight_hits / weight_total:.2%}" if weight_total else "-",
+        ],
+        [
+            "Dijkstra trees",
+            str(stats.tree_hits),
+            str(stats.tree_misses),
+            f"{stats.tree_hits / tree_total:.2%}" if tree_total else "-",
+        ],
+        [
+            "Total",
+            str(stats.hits),
+            str(stats.misses),
+            f"{stats.hit_rate:.2%}" if (stats.hits + stats.misses) else "-",
+        ],
+    ]
+    table = render_table(headers, rows, title=caption)
+    return (
+        f"{table}\n"
+        f"invalidations (epoch changes): {stats.invalidations}; "
+        f"LRU evictions: {stats.evictions}"
+    )
 
 
 def render_dijkstra_trace(

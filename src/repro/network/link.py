@@ -16,9 +16,13 @@ single used-bandwidth figure, matching how Table 2 reports each link.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import LinkCapacityError
+
+#: Change-notification kinds emitted to a link's version listener.
+STATE_CHANGE = "state"
+TRAFFIC_CHANGE = "traffic"
 
 
 def link_key(a_uid: str, b_uid: str) -> Tuple[str, str]:
@@ -53,6 +57,18 @@ class Link:
     online: bool = True
     _background_mbps: float = field(default=0.0, repr=False)
     _reserved_mbps: float = field(default=0.0, repr=False)
+    #: Monotonic counter of online/offline transitions (routing-relevant
+    #: *structural* state).  Feeds the epoch-versioned routing cache.
+    _state_version: int = field(default=0, repr=False, compare=False)
+    #: Monotonic counter of used-bandwidth mutations (background traffic
+    #: and flow reservations) — routing-relevant only on the ground-truth
+    #: (``use_reported_stats=False``) path.
+    _traffic_version: int = field(default=0, repr=False, compare=False)
+    #: Set by :meth:`Topology.add_link` so the owning topology can expose a
+    #: combined version without scanning every link per lookup.
+    _version_listener: Optional[Callable[[str], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not (self.capacity_mbps > 0.0):
@@ -62,6 +78,40 @@ class Link:
         self.a_uid, self.b_uid = link_key(self.a_uid, self.b_uid)
         if not self.name:
             self.name = f"{self.a_uid}-{self.b_uid}"
+
+    def __setattr__(self, name: str, value: object) -> None:
+        # ``online`` is flipped by direct attribute assignment all over the
+        # failure-injection code paths; intercept the transition here so the
+        # routing epoch advances no matter who flips it.
+        if name == "online":
+            previous = self.__dict__.get("online")
+            object.__setattr__(self, name, value)
+            if previous is not None and bool(previous) != bool(value):
+                self._notify(STATE_CHANGE)
+            return
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------ #
+    # change versioning
+    # ------------------------------------------------------------------ #
+    @property
+    def state_version(self) -> int:
+        """Counter of online/offline transitions on this link."""
+        return self._state_version
+
+    @property
+    def traffic_version(self) -> int:
+        """Counter of used-bandwidth mutations on this link."""
+        return self._traffic_version
+
+    def _notify(self, kind: str) -> None:
+        if kind == STATE_CHANGE:
+            object.__setattr__(self, "_state_version", self.__dict__.get("_state_version", 0) + 1)
+        else:
+            object.__setattr__(self, "_traffic_version", self.__dict__.get("_traffic_version", 0) + 1)
+        listener = self.__dict__.get("_version_listener")
+        if listener is not None:
+            listener(kind)
 
     # ------------------------------------------------------------------ #
     @property
@@ -102,7 +152,10 @@ class Link:
         """Set background traffic (clamped into [0, capacity])."""
         if mbps < 0.0:
             raise LinkCapacityError(f"background traffic cannot be negative, got {mbps!r}")
-        self._background_mbps = min(float(mbps), self.capacity_mbps)
+        clamped = min(float(mbps), self.capacity_mbps)
+        if clamped != self._background_mbps:
+            self._background_mbps = clamped
+            self._notify(TRAFFIC_CHANGE)
 
     @property
     def reserved_mbps(self) -> float:
@@ -139,7 +192,9 @@ class Link:
                 f"link {self.name}: reserving {mbps:.3f} Mbps exceeds free "
                 f"capacity {self.free_mbps:.3f} Mbps"
             )
-        self._reserved_mbps += mbps
+        if mbps > 0.0:
+            self._reserved_mbps += mbps
+            self._notify(TRAFFIC_CHANGE)
 
     def release(self, mbps: float) -> None:
         """Release a previous reservation of ``mbps``."""
@@ -154,6 +209,8 @@ class Link:
         if self._reserved_mbps < 1e-12:
             # Snap float dust so an idle link reads exactly zero.
             self._reserved_mbps = 0.0
+        if mbps > 0.0:
+            self._notify(TRAFFIC_CHANGE)
 
     def __hash__(self) -> int:
         return hash(self.key)

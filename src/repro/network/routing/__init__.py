@@ -6,14 +6,22 @@ distance table in exactly the layout of the paper's Tables 4 and 5.
 """
 
 from repro.network.routing.bellman_ford import BellmanFordResult, bellman_ford
+from repro.network.routing.cache import (
+    DEFAULT_TREE_CAPACITY,
+    RoutingCache,
+    RoutingCacheStats,
+)
 from repro.network.routing.dijkstra import DijkstraResult, DijkstraStep, dijkstra
 from repro.network.routing.paths import Path
 
 __all__ = [
     "BellmanFordResult",
+    "DEFAULT_TREE_CAPACITY",
     "DijkstraResult",
     "DijkstraStep",
     "Path",
+    "RoutingCache",
+    "RoutingCacheStats",
     "bellman_ford",
     "dijkstra",
 ]

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import TopologyError
-from repro.network.link import Link, link_key
+from repro.network.link import STATE_CHANGE, Link, link_key
 from repro.network.node import Node
 
 
@@ -29,6 +29,29 @@ class Topology:
         self._links: Dict[Tuple[str, str], Link] = {}
         self._links_by_name: Dict[str, Link] = {}
         self._adjacency: Dict[str, List[Link]] = {}
+        self._state_version = 0
+        self._traffic_version = 0
+
+    # ------------------------------------------------------------------ #
+    # change versioning (feeds the epoch-versioned routing cache)
+    # ------------------------------------------------------------------ #
+    @property
+    def state_version(self) -> int:
+        """Monotonic counter of routing-relevant *structural* changes:
+        node/link additions and link online/offline transitions."""
+        return self._state_version
+
+    @property
+    def traffic_version(self) -> int:
+        """Monotonic counter of ground-truth used-bandwidth mutations
+        (background traffic writes, flow reservations/releases)."""
+        return self._traffic_version
+
+    def _on_link_change(self, kind: str) -> None:
+        if kind == STATE_CHANGE:
+            self._state_version += 1
+        else:
+            self._traffic_version += 1
 
     # ------------------------------------------------------------------ #
     # construction
@@ -43,6 +66,7 @@ class Topology:
             raise TopologyError(f"duplicate node uid {node.uid!r} in topology {self.name!r}")
         self._nodes[node.uid] = node
         self._adjacency[node.uid] = []
+        self._state_version += 1
         return node
 
     def add_link(self, link: Link) -> Link:
@@ -68,6 +92,8 @@ class Topology:
         self._links_by_name[link.name] = link
         self._adjacency[link.a_uid].append(link)
         self._adjacency[link.b_uid].append(link)
+        link._version_listener = self._on_link_change
+        self._state_version += 1
         return link
 
     # ------------------------------------------------------------------ #

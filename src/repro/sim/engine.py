@@ -23,12 +23,13 @@ class EventHandle:
     event when it reaches the top of the heap.
     """
 
-    __slots__ = ("event", "_cancelled", "_fired")
+    __slots__ = ("event", "_cancelled", "_fired", "_on_cancel")
 
-    def __init__(self, event: Event):
+    def __init__(self, event: Event, on_cancel: Optional[Callable[[], None]] = None):
         self.event = event
         self._cancelled = False
         self._fired = False
+        self._on_cancel = on_cancel
 
     @property
     def cancelled(self) -> bool:
@@ -55,6 +56,8 @@ class EventHandle:
         if not self.pending:
             return False
         self._cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel()
         return True
 
 
@@ -78,6 +81,7 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._events_fired = 0
+        self._pending = 0
 
     # ------------------------------------------------------------------ #
     # clock
@@ -94,8 +98,12 @@ class Simulator:
 
     @property
     def pending_count(self) -> int:
-        """Number of events in the heap, including cancelled carcasses."""
-        return sum(1 for _, handle in self._heap if handle.pending)
+        """Number of pending (scheduled, not cancelled, not fired) events.
+
+        Maintained as a live counter updated on schedule/cancel/fire, so
+        reading it is O(1) rather than a scan of the heap.
+        """
+        return self._pending
 
     # ------------------------------------------------------------------ #
     # scheduling
@@ -139,9 +147,13 @@ class Simulator:
             )
         event = Event(time=float(time), seq=self._seq, callback=callback, args=args, name=name)
         self._seq += 1
-        handle = EventHandle(event)
+        handle = EventHandle(event, on_cancel=self._note_cancel)
         heapq.heappush(self._heap, (event.sort_key(), handle))
+        self._pending += 1
         return handle
+
+    def _note_cancel(self) -> None:
+        self._pending -= 1
 
     @staticmethod
     def _check_delay(delay: float) -> float:
@@ -171,9 +183,14 @@ class Simulator:
         if not self._heap:
             return None
         _, handle = heapq.heappop(self._heap)
+        return self._fire(handle)
+
+    def _fire(self, handle: EventHandle) -> Event:
+        """Execute one popped pending event (clock advance + bookkeeping)."""
         event = handle.event
         self._now = event.time
         handle._fired = True
+        self._pending -= 1
         self._events_fired += 1
         event.fire()
         return event
@@ -203,16 +220,23 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired = 0
+        heap = self._heap
         try:
+            # Fused loop: one cancelled-carcass sweep and one heap pop per
+            # event, instead of the peek()+step() pair (each of which swept
+            # the heap top and peek() re-read what step() popped).
             while not self._stopped:
-                next_time = self.peek()
-                if next_time is None:
+                while heap and not heap[0][1].pending:
+                    heapq.heappop(heap)
+                if not heap:
                     break
-                if until is not None and next_time > until:
+                handle = heap[0][1]
+                if until is not None and handle.event.time > until:
                     break
                 if max_events is not None and fired >= max_events:
                     break
-                self.step()
+                heapq.heappop(heap)
+                self._fire(handle)
                 fired += 1
         finally:
             self._running = False
