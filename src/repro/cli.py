@@ -6,6 +6,7 @@ Exposes the reproduction's main entry points without writing Python::
     python -m repro experiment A               # one experiment, full trace
     python -m repro lvn --time 4pm             # the LVN weight table
     python -m repro simulate --cache dma ...   # a service-level workload run
+    python -m repro obs --format jsonl         # telemetry of an instrumented run
     python -m repro sweep-cluster-size         # the X4 ablation summary
 
 Every subcommand prints plain text to stdout and exits 0 on success; bad
@@ -16,7 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core.service import ServiceConfig
 from repro.experiments.casestudy import (
@@ -92,6 +93,29 @@ def build_parser() -> argparse.ArgumentParser:
                                "defaults to the paper's GRNET backbone")
     simulate.add_argument("--report", action="store_true",
                           help="print per-server/link/title analysis after the run")
+
+    obs = commands.add_parser(
+        "obs",
+        help="run an observability-enabled GRNET workload and export its telemetry",
+    )
+    obs.add_argument("--format", choices=["summary", "jsonl", "csv"],
+                     default="summary",
+                     help="operator summary (default) or machine-readable export")
+    obs.add_argument("--out", metavar="FILE", default=None,
+                     help="write the jsonl/csv export to FILE instead of stdout")
+    obs.add_argument("--trace-out", metavar="FILE", default=None,
+                     help="also write the structured event trace (span.* "
+                          "categories included) as JSONL")
+    obs.add_argument("--timeline", metavar="FAMILY", default=None,
+                     help="print a sparkline timeline of one sampled gauge "
+                          "family, e.g. link.utilization")
+    obs.add_argument("--scenario", choices=["regional", "flash-crowd"],
+                     default="regional")
+    obs.add_argument("--requests-per-node", type=int, default=12)
+    obs.add_argument("--catalog-size", type=int, default=8)
+    obs.add_argument("--sample-period", type=float, default=60.0,
+                     help="simulated seconds between telemetry samples")
+    obs.add_argument("--seed", type=int, default=23)
 
     commands.add_parser(
         "sweep-cluster-size",
@@ -213,6 +237,89 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.experiments.report import render_timeline
+    from repro.obs.export import (
+        export_csv,
+        export_jsonl,
+        summarize_telemetry,
+        telemetry_rows,
+    )
+    from repro.sim.trace import Tracer
+    from repro.storage.video import VideoTitle
+    from repro.workload.scenarios import flash_crowd_scenario
+
+    catalog = [
+        VideoTitle(f"title-{i:03d}", size_mb=150.0, duration_s=3600.0)
+        for i in range(1, args.catalog_size + 1)
+    ]
+    if args.scenario == "flash-crowd":
+        scenario = flash_crowd_scenario(
+            GRNET_NODES[0],
+            catalog[0],
+            viewer_count=args.requests_per_node * len(GRNET_NODES),
+            seed=args.seed,
+        )
+    else:
+        scenario = regional_scenario(
+            list(GRNET_NODES),
+            requests_per_node=args.requests_per_node,
+            seed=args.seed,
+            catalog=catalog,
+        )
+    tracer = Tracer(enabled=True)
+    experiment = ServiceExperiment(
+        name="obs",
+        scenario=scenario,
+        config=ServiceConfig(
+            cluster_mb=50.0,
+            disk_count=3,
+            disk_capacity_mb=250.0,
+            max_streams=64,
+            use_reported_stats=False,
+            observability=True,
+            telemetry_period_s=args.sample_period,
+        ),
+        seed=args.seed,
+        tracer=tracer,
+    )
+    result = run_service_experiment(experiment)
+    service = result.service
+
+    if args.format == "summary":
+        print(
+            summarize_telemetry(
+                service.obs, service.telemetry, service.spans, tracer
+            )
+        )
+    else:
+        rows = telemetry_rows(service.obs, service.telemetry, service.spans)
+        writer = export_jsonl if args.format == "jsonl" else export_csv
+        if args.out is not None:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                count = writer(rows, handle)
+            print(f"wrote {count} {args.format} rows to {args.out}")
+        else:
+            writer(rows, sys.stdout)
+
+    if args.trace_out is not None:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            count = tracer.export_jsonl(handle)
+        print(f"wrote {count} trace events to {args.trace_out}")
+
+    if args.timeline is not None:
+        pairs = service.telemetry.series_for(args.timeline)
+        rows = [
+            (
+                ",".join(str(v) for _, v in sorted(labels.items())) or args.timeline,
+                series,
+            )
+            for labels, series in pairs
+        ]
+        print(render_timeline(rows, title=f"{args.timeline} timeline"))
+    return 0
+
+
 def _cmd_export_grnet(path: str, time_label: Optional[str]) -> int:
     from repro.io import save_topology
     from repro.network.grnet import apply_traffic_sample, build_grnet_topology
@@ -267,6 +374,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_lvn(args.time, args.normalization_constant)
         if args.command == "simulate":
             return _cmd_simulate(args)
+        if args.command == "obs":
+            return _cmd_obs(args)
         if args.command == "sweep-cluster-size":
             return _cmd_sweep_cluster_size()
         if args.command == "export-grnet":

@@ -22,10 +22,9 @@ Two faithful quirks of the pseudocode are preserved (and unit-tested):
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Set, Tuple
 
-from repro.errors import CacheError
 from repro.storage.array import DiskArray
 from repro.storage.cache import PopularityTracker
 from repro.storage.video import VideoTitle

@@ -22,6 +22,7 @@ link bandwidths and per-server title lists) maps to the constructor plus
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.client.client import Client
@@ -30,6 +31,7 @@ from repro.core.lvn import DEFAULT_NORMALIZATION_CONSTANT
 from repro.core.session import (
     DEFAULT_LOCAL_READ_MBPS,
     DEFAULT_RATE_UPDATE_PERIOD_S,
+    ClusterRecord,
     SessionRecord,
     StreamingSession,
 )
@@ -41,6 +43,9 @@ from repro.network.flows import FlowManager
 from repro.network.link import Link
 from repro.network.node import Node
 from repro.network.topology import Topology
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sampler import DEFAULT_SERIES_CAPACITY, TelemetrySampler
+from repro.obs.spans import SessionSpan
 from repro.server.video_server import VideoServer
 from repro.sim.engine import Simulator
 from repro.sim.process import Process
@@ -91,6 +96,17 @@ class ServiceConfig:
             The cache is also auto-disabled when
             ``use_server_load_in_vra`` is on, because live stream-slot
             occupancy feeds the weights without a version counter.
+        observability: Enable the unified telemetry layer: a live
+            metrics registry (per-link utilisation, cache occupancy,
+            stream load, VRA decision counters/latency, sim-engine
+            gauges), a sim-time sampler snapshotting gauges into ring
+            buffers, and per-request session spans sinking into the
+            tracer.  Default off — the disabled path routes every
+            instrument call to shared no-ops (see
+            ``benchmarks/test_bench_obs_overhead.py`` for the cost).
+        telemetry_period_s: Simulated seconds between telemetry samples
+            (only meaningful with ``observability=True``).
+        telemetry_capacity: Ring bound per sampled time series.
     """
 
     cluster_mb: float = 64.0
@@ -108,11 +124,21 @@ class ServiceConfig:
     pin_seeded_titles: bool = True
     vra_trace: bool = False
     routing_cache_size: int = 128
+    observability: bool = False
+    telemetry_period_s: float = 60.0
+    telemetry_capacity: int = DEFAULT_SERIES_CAPACITY
     #: Per-node hardware overrides ("we propose the use of as many disks
     #: as possible" — sites differ): node uid -> subset of
     #: {disk_count, disk_capacity_mb, max_streams}.  Unlisted nodes use
     #: the uniform values above.
     server_overrides: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+
+def _points_table_size(server: VideoServer) -> float:
+    """Entries in a server's DMA points table; 0 for trackerless policies
+    (the caching baselines keep no popularity state)."""
+    tracker = getattr(server.dma, "tracker", None)
+    return float(len(tracker)) if tracker is not None else 0.0
 
 
 class VoDService:
@@ -124,6 +150,7 @@ class VoDService:
         topology: Topology,
         config: Optional[ServiceConfig] = None,
         tracer: Optional[Tracer] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         topology.validate()
         self.sim = sim
@@ -131,13 +158,27 @@ class VoDService:
         self.config = config if config is not None else ServiceConfig()
         #: Structured event trace (disabled by default); categories:
         #: request.submitted / request.blocked, vra.decision, dma.pass,
-        #: session.finished, service.expanded.
+        #: session.finished, service.expanded, plus the span.* categories
+        #: of the observability layer.
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        #: The telemetry instrument registry.  Disabled (all no-ops)
+        #: unless ``config.observability`` is set or an enabled registry
+        #: is passed in explicitly.
+        self.obs = (
+            registry
+            if registry is not None
+            else MetricsRegistry(enabled=self.config.observability)
+        )
+        self._obs_enabled = self.obs.enabled
+        #: Per-request session spans (populated only when observability
+        #: is on).
+        self.spans: List[SessionSpan] = []
         self.database = ServiceDatabase()
         self.flows = FlowManager(topology)
         self._subnet_map: Dict[str, str] = {}
         self._clients: Dict[str, Client] = {}
         self.sessions: List[SessionRecord] = []
+        self._register_service_instruments()
 
         # Overrides may name nodes that do not exist *yet*: they apply
         # when that node joins via add_server (runtime expansion).
@@ -155,6 +196,8 @@ class VoDService:
                 pin_seeded=self.config.pin_seeded_titles,
             )
             self.servers[node.uid] = server
+            server.attach_metrics(self.obs)
+            self._register_server_gauges(server)
             self.database.register_server(
                 ServerEntry(
                     server_uid=node.uid,
@@ -172,6 +215,7 @@ class VoDService:
                     total_bandwidth_mbps=link.capacity_mbps,
                 )
             )
+            self._register_link_gauges(link)
 
         self.statistics = StatisticsService(
             sim,
@@ -179,6 +223,7 @@ class VoDService:
             self.database.limited_access(),
             period_s=self.config.snmp_period_s,
         )
+        self.statistics.attach_metrics(self.obs)
         # Live server load feeds the weights without a version counter, so
         # epoch caching cannot see those changes; fall back to recompute.
         cacheable = not self.config.use_server_load_in_vra
@@ -190,12 +235,153 @@ class VoDService:
             trace=self.config.vra_trace,
             epoch_of=self.routing_epoch if cacheable else None,
             cache_size=self.config.routing_cache_size,
+            metrics=self.obs,
+        )
+        #: Periodic sim-time gauge sampler (a no-op when observability is
+        #: off; started alongside the SNMP collector in :meth:`start`).
+        self.telemetry = TelemetrySampler(
+            sim,
+            self.obs,
+            period_s=self.config.telemetry_period_s,
+            capacity=self.config.telemetry_capacity,
         )
         self._started = False
         #: Optional per-session wrapper around the decide function, used by
         #: the switching baselines (e.g. ``NeverSwitch``): called once per
         #: session with the fresh decide closure, returns the one to use.
         self.decide_wrapper: Optional[Callable[[Callable[[], VraDecision]], Callable[[], VraDecision]]] = None
+
+    # ------------------------------------------------------------------ #
+    # telemetry registration
+    # ------------------------------------------------------------------ #
+    def _register_service_instruments(self) -> None:
+        """Resolve service-level instruments (all no-ops when disabled)."""
+        obs = self.obs
+        self._m_requests = obs.counter(
+            "service.requests_submitted", subsystem="service",
+            description="client requests placed",
+        )
+        self._m_blocked = obs.counter(
+            "service.requests_blocked", subsystem="service",
+            description="requests rejected by strict-QoS admission",
+        )
+        self._m_completed = obs.counter(
+            "service.sessions_completed", subsystem="service",
+            description="sessions that delivered every cluster",
+        )
+        self._m_failed = obs.counter(
+            "service.sessions_failed", subsystem="service",
+            description="sessions that finished without completing",
+        )
+        self._m_clusters = obs.counter(
+            "session.clusters_delivered", subsystem="core",
+            description="cluster transfers completed",
+        )
+        self._m_switches = obs.counter(
+            "session.switches", subsystem="core",
+            description="mid-stream server switches",
+        )
+        self._m_decision_latency = obs.histogram(
+            "vra.decision_latency_ms", subsystem="core",
+            description="wall-clock latency of one VRA decision (ms)",
+        )
+        self._m_startup = obs.histogram(
+            "session.startup_s", subsystem="core",
+            description="startup delay of completed sessions (s)",
+        )
+        self._m_stall = obs.histogram(
+            "session.stall_s", subsystem="core",
+            description="total stall time of completed sessions (s)",
+        )
+        if not self._obs_enabled:
+            return
+        # Observable gauges: evaluated by the telemetry sampler, so the
+        # closures below cost nothing between samples.
+        obs.gauge(
+            "sim.events_fired", subsystem="sim",
+            description="cumulative events executed by the engine",
+            callback=lambda: float(self.sim.events_fired),
+        )
+        obs.gauge(
+            "sim.pending_events", subsystem="sim",
+            description="events scheduled and not yet fired/cancelled",
+            callback=lambda: float(self.sim.pending_count),
+        )
+        obs.gauge(
+            "sim.heap_depth", subsystem="sim",
+            description="raw event-heap length (cancelled carcasses included)",
+            callback=lambda: float(self.sim.heap_depth),
+        )
+        obs.gauge(
+            "service.sessions_active", subsystem="service",
+            description="sessions submitted and not yet finished",
+            callback=lambda: float(
+                sum(1 for r in self.sessions if not r.request.finished)
+            ),
+        )
+        obs.gauge(
+            "service.flows_active", subsystem="network",
+            description="bandwidth reservations currently held",
+            callback=lambda: float(self.flows.active_count),
+        )
+        obs.gauge(
+            "routing.cache_hit_rate", subsystem="core",
+            description="routing-cache hits over lookups, in [0, 1]",
+            callback=self._cache_hit_rate,
+        )
+
+    def _register_server_gauges(self, server: VideoServer) -> None:
+        """Per-server occupancy/load gauges (sampled, not hot-path)."""
+        if not self._obs_enabled:
+            return
+        obs = self.obs
+        labels = {"server": server.node_uid}
+        obs.gauge(
+            "server.cache_used_mb", subsystem="server", labels=labels,
+            description="disk-cache bytes resident (MB)",
+            callback=lambda s=server: s.array.used_mb,
+        )
+        obs.gauge(
+            "server.cache_fraction", subsystem="server", labels=labels,
+            description="disk-cache occupancy over capacity, in [0, 1]",
+            callback=lambda s=server: s.array.used_mb / s.array.total_capacity_mb,
+        )
+        obs.gauge(
+            "server.active_streams", subsystem="server", labels=labels,
+            description="streams currently sourced",
+            callback=lambda s=server: float(s.admission.active_count),
+        )
+        obs.gauge(
+            "server.stream_load", subsystem="server", labels=labels,
+            description="stream-slot occupancy, in [0, 1]",
+            callback=lambda s=server: s.admission.load,
+        )
+        obs.gauge(
+            "dma.points_table_size", subsystem="server", labels=labels,
+            description="titles tracked in the DMA points table",
+            callback=lambda s=server: float(_points_table_size(s)),
+        )
+
+    def _register_link_gauges(self, link: Link) -> None:
+        """Per-link utilisation/reservation gauges (sampled)."""
+        if not self._obs_enabled:
+            return
+        labels = {"link": link.name}
+        self.obs.gauge(
+            "link.utilization", subsystem="network", labels=labels,
+            description="used over total bandwidth (eq. 5), in [0, 1]",
+            callback=lambda l=link: l.utilization,
+        )
+        self.obs.gauge(
+            "link.reserved_mbps", subsystem="network", labels=labels,
+            description="bandwidth reserved by VoD flows (Mbps)",
+            callback=lambda l=link: l.reserved_mbps,
+        )
+
+    def _cache_hit_rate(self) -> float:
+        """Routing-cache hit rate, 0.0 when caching is off or replaced."""
+        stats = getattr(self.vra, "cache_stats", None)
+        return stats.hit_rate if stats is not None else 0.0
 
     # ------------------------------------------------------------------ #
     # initialisation phase
@@ -238,9 +424,11 @@ class VoDService:
         server.seed_title(video)
 
     def start(self) -> None:
-        """Begin periodic SNMP collection (call after initialisation)."""
+        """Begin periodic SNMP collection and telemetry sampling (call
+        after initialisation)."""
         if not self._started:
             self.statistics.start()
+            self.telemetry.start()
             self._started = True
 
     # ------------------------------------------------------------------ #
@@ -292,6 +480,8 @@ class VoDService:
             pin_seeded=self.config.pin_seeded_titles,
         )
         self.servers[node.uid] = server
+        server.attach_metrics(self.obs)
+        self._register_server_gauges(server)
         self.database.register_server(
             ServerEntry(
                 server_uid=node.uid,
@@ -309,6 +499,7 @@ class VoDService:
                     total_bandwidth_mbps=link.capacity_mbps,
                 )
             )
+            self._register_link_gauges(link)
         self.statistics.add_node(node.uid)
         self.tracer.record(
             self.sim.now,
@@ -362,12 +553,15 @@ class VoDService:
     def decide(self, home_uid: str, title_id: str) -> VraDecision:
         """One VRA decision for a request at ``home_uid`` (no streaming)."""
         holders = self.database.servers_with_title(title_id)
+        started = perf_counter() if self._obs_enabled else 0.0
         decision = self.vra.decide(
             home_uid,
             title_id,
             holders,
             poll=lambda uid: self.servers[uid].can_provide(title_id),
         )
+        if self._obs_enabled:
+            self._m_decision_latency.observe((perf_counter() - started) * 1e3)
         self.tracer.record(
             self.sim.now,
             "vra.decision",
@@ -490,15 +684,37 @@ class VoDService:
             evicted=list(dma_result.evicted),
         )
         dma_stored = dma_result.cached and dma_result.action.value != "hit"
+        self._m_requests.inc()
+        span: Optional[SessionSpan] = None
+        if self._obs_enabled:
+            span = SessionSpan(
+                request_id=request.request_id,
+                client_id=client_id,
+                title_id=title_id,
+                home_uid=home_uid,
+                started_at=self.sim.now,
+                sink=self.tracer,
+            )
+            self.spans.append(span)
+            span.add(
+                self.sim.now,
+                "submitted",
+                dma_action=dma_result.action.value,
+                dma_points=dma_result.points,
+            )
 
         if self.config.strict_qos_admission and not self._qos_admissible(
             home_uid, title_id, video
         ):
-            return self._block_request(request, video, home_server, dma_stored)
+            return self._block_request(request, video, home_server, dma_stored, span)
 
         decide = lambda: self.decide(home_uid, title_id)  # noqa: E731
         if self.decide_wrapper is not None:
             decide = self.decide_wrapper(decide)
+        if span is not None:
+            # Wrap *outside* decide_wrapper so the span sees the decision
+            # the session actually uses (e.g. NeverSwitch's frozen one).
+            decide = self._span_decide(decide, span)
 
         session = StreamingSession(
             sim=self.sim,
@@ -511,14 +727,66 @@ class VoDService:
             local_read_mbps=self.config.local_read_mbps,
             rate_update_period_s=self.config.rate_update_period_s,
             on_finish=lambda record: self._on_session_finish(
-                record, home_server, dma_stored
+                record, home_server, dma_stored, span
             ),
+            on_cluster=self._cluster_hook(span) if self._obs_enabled else None,
         )
         self.sessions.append(session.record)
         process = Process(
             self.sim, session.run(), name=f"session:{client_id}:{title_id}"
         )
         return request, session, process
+
+    def _span_decide(
+        self, decide: Callable[[], VraDecision], span: SessionSpan
+    ) -> Callable[[], VraDecision]:
+        """Record each per-cluster VRA decision into the session span."""
+
+        def wrapped() -> VraDecision:
+            started = perf_counter()
+            decision = decide()
+            span.add(
+                self.sim.now,
+                "vra.decision",
+                chosen_uid=decision.chosen_uid,
+                cost=decision.cost,
+                served_locally=decision.served_locally,
+                epoch=list(self.routing_epoch()),
+                latency_ms=(perf_counter() - started) * 1e3,
+            )
+            return decision
+
+        return wrapped
+
+    def _cluster_hook(
+        self, span: Optional[SessionSpan]
+    ) -> Callable[[ClusterRecord], None]:
+        """Per-cluster delivery hook: counters plus span events."""
+
+        def hook(record: ClusterRecord) -> None:
+            self._m_clusters.inc()
+            if record.switched:
+                self._m_switches.inc()
+            if span is None:
+                return
+            if record.switched:
+                span.add(
+                    record.start,
+                    "switch",
+                    cluster=record.index,
+                    to_server=record.server_uid,
+                )
+            span.add(
+                record.end,
+                "cluster.delivered",
+                index=record.index,
+                server_uid=record.server_uid,
+                rate_mbps=record.rate_mbps,
+                size_mb=record.size_mb,
+                qos_violated=record.qos_violated,
+            )
+
+        return hook
 
     def _qos_admissible(self, home_uid: str, title_id: str, video: VideoTitle) -> bool:
         """Strict-QoS check: can *some* candidate sustain the playback rate?
@@ -544,12 +812,16 @@ class VoDService:
         video: VideoTitle,
         home_server: VideoServer,
         dma_stored: bool,
+        span: Optional[SessionSpan] = None,
     ) -> Tuple[VideoRequest, StreamingSession, Process]:
         """Reject a request at admission time (strict-QoS extension)."""
         request.mark_failed(
             "qos-blocked: no candidate path can sustain "
             f"{video.bitrate_mbps:.2f} Mbps"
         )
+        self._m_blocked.inc()
+        if span is not None:
+            span.finish(self.sim.now, request.status.value)
         self.tracer.record(
             self.sim.now,
             "request.blocked",
@@ -580,13 +852,25 @@ class VoDService:
         return request, session, process
 
     def _on_session_finish(
-        self, record: SessionRecord, home_server: VideoServer, dma_stored: bool
+        self,
+        record: SessionRecord,
+        home_server: VideoServer,
+        dma_stored: bool,
+        span: Optional[SessionSpan] = None,
     ) -> None:
         if dma_stored:
             if record.completed:
                 home_server.commit_download(record.request.title_id)
             else:
                 home_server.abort_download(record.request.title_id)
+        if record.completed:
+            self._m_completed.inc()
+            self._m_startup.observe(record.startup_delay_s)
+            self._m_stall.observe(record.stall_s)
+        else:
+            self._m_failed.inc()
+        if span is not None:
+            span.finish(self.sim.now, record.request.status.value)
         self.tracer.record(
             self.sim.now,
             "session.finished",

@@ -20,7 +20,7 @@ from typing import Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.client.requests import VideoRequest
 from repro.core.vra import VraDecision
-from repro.errors import AdmissionError, LinkCapacityError, ReproError, RoutingError
+from repro.errors import LinkCapacityError, ReproError
 from repro.network.flows import FlowManager
 from repro.server.video_server import VideoServer
 from repro.sim.engine import Simulator
@@ -126,6 +126,8 @@ class StreamingSession:
         servers: Video servers by node uid (for admission bookkeeping).
         local_read_mbps: Transfer rate for home-server serves.
         on_finish: Optional callback receiving the final SessionRecord.
+        on_cluster: Optional callback receiving each ClusterRecord as it
+            is delivered (the observability layer's span hook).
     """
 
     def __init__(
@@ -140,6 +142,7 @@ class StreamingSession:
         local_read_mbps: float = DEFAULT_LOCAL_READ_MBPS,
         rate_update_period_s: float = DEFAULT_RATE_UPDATE_PERIOD_S,
         on_finish: Optional[Callable[[SessionRecord], None]] = None,
+        on_cluster: Optional[Callable[[ClusterRecord], None]] = None,
     ):
         if not (rate_update_period_s > 0.0):
             raise ReproError(
@@ -154,6 +157,7 @@ class StreamingSession:
         self._local_read_mbps = local_read_mbps
         self._rate_quantum_s = rate_update_period_s
         self._on_finish = on_finish
+        self._on_cluster = on_cluster
         self.record = SessionRecord(request=request)
 
     # ------------------------------------------------------------------ #
@@ -218,19 +222,20 @@ class StreamingSession:
         if qos_violated:
             self.record.qos_violation_count += 1
         average_rate = size_mb * 8.0 / (end - start) if end > start else min_rate
-        self.record.clusters.append(
-            ClusterRecord(
-                index=index,
-                server_uid=decision.chosen_uid,
-                path_nodes=path_nodes,
-                rate_mbps=average_rate,
-                start=start,
-                end=end,
-                size_mb=size_mb,
-                switched=switched,
-                qos_violated=qos_violated,
-            )
+        cluster_record = ClusterRecord(
+            index=index,
+            server_uid=decision.chosen_uid,
+            path_nodes=path_nodes,
+            rate_mbps=average_rate,
+            start=start,
+            end=end,
+            size_mb=size_mb,
+            switched=switched,
+            qos_violated=qos_violated,
         )
+        self.record.clusters.append(cluster_record)
+        if self._on_cluster is not None:
+            self._on_cluster(cluster_record)
 
     def _acquire_rate(self, local: bool, node_path: List[str]):
         """Pick the current transfer rate and reserve it on the path.

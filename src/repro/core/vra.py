@@ -32,6 +32,7 @@ from repro.network.routing.cache import (
     RoutingCache,
     RoutingCacheStats,
 )
+from repro.obs.registry import MetricsRegistry
 from repro.network.routing.dijkstra import DijkstraResult, dijkstra
 from repro.network.routing.paths import Path
 from repro.network.topology import Topology
@@ -106,6 +107,9 @@ class VirtualRoutingAlgorithm:
             exactly the paper's Figure 5.
         cache_size: LRU bound on cached Dijkstra trees; ``0`` disables
             caching entirely even when ``epoch_of`` is given.
+        metrics: Optional telemetry registry; when given (and enabled)
+            the VRA counts decisions / local serves and records a
+            candidate-count histogram under the ``vra.*`` families.
     """
 
     def __init__(
@@ -117,6 +121,7 @@ class VirtualRoutingAlgorithm:
         trace: bool = False,
         epoch_of: Optional[EpochFn] = None,
         cache_size: int = DEFAULT_TREE_CAPACITY,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self._topology = topology
         self._used_of = used_of
@@ -134,6 +139,22 @@ class VirtualRoutingAlgorithm:
             else None
         )
         self.decision_count = 0
+        # Instruments resolve once here; a disabled registry hands back
+        # shared no-ops, so the decide() hot path pays one call per event.
+        registry = metrics if metrics is not None else MetricsRegistry(enabled=False)
+        self._m_decisions = registry.counter(
+            "vra.decisions", subsystem="core", description="VRA runs (Figure 5)"
+        )
+        self._m_local_serves = registry.counter(
+            "vra.local_serves",
+            subsystem="core",
+            description="decisions answered by the home-server shortcut",
+        )
+        self._m_candidates = registry.histogram(
+            "vra.candidates",
+            subsystem="core",
+            description="available remote candidates per routed decision",
+        )
 
     @property
     def cache_stats(self) -> Optional[RoutingCacheStats]:
@@ -205,6 +226,7 @@ class VirtualRoutingAlgorithm:
             RoutingError: If every holder polled out or none is reachable.
         """
         self.decision_count += 1
+        self._m_decisions.inc()
         # Normalize once: the caller may hand us any iterable (generator,
         # set, database list); one pass builds the ordered, deduplicated
         # tuple every later step works from.
@@ -218,6 +240,7 @@ class VirtualRoutingAlgorithm:
         # Figure 5: "IF the adjacent to the client video server can provide
         # the requested video THEN authorize ... QUIT".
         if home_uid in holder_list and poll_fn(home_uid):
+            self._m_local_serves.inc()
             return VraDecision(
                 title_id=title_id,
                 home_uid=home_uid,
@@ -235,6 +258,7 @@ class VirtualRoutingAlgorithm:
                 continue
             (available if poll_fn(uid) else rejected).append(uid)
         polled_out = tuple(rejected)
+        self._m_candidates.observe(len(available))
         if not available:
             raise RoutingError(
                 f"title {title_id!r}: every holder {list(holder_list)} polled "

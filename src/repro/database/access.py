@@ -10,7 +10,7 @@ full-access handle raise :class:`~repro.errors.AccessDeniedError`.
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, List, Set
 
 from repro.errors import AccessDeniedError
 

@@ -10,7 +10,7 @@ one of the two interface modules".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from typing import Optional, Set, Tuple
 
 
 @dataclass(frozen=True)

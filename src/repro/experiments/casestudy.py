@@ -21,8 +21,8 @@ corrected expectations, and the benchmark prints the delta.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.core.lvn import DEFAULT_NORMALIZATION_CONSTANT, weight_table
 from repro.core.vra import VirtualRoutingAlgorithm, VraDecision

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.baselines.caching import (
     FullReplicationPolicy,
@@ -42,6 +42,7 @@ from repro.metrics.collectors import SessionMetrics, summarize_sessions
 from repro.network.grnet import build_grnet_topology
 from repro.network.topology import Topology
 from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
 from repro.workload.scenarios import WorkloadScenario
 from repro.workload.traces import Table2Replayer
 
@@ -67,6 +68,8 @@ class ServiceExperiment:
         seed: Seed for any randomised policy (e.g. random selection).
         start_time: Simulated clock at experiment start (e.g. 8am for
             Table 2 replays).
+        tracer: Optional structured event trace handed to the service
+            (the obs CLI passes an enabled one so spans land somewhere).
     """
 
     name: str
@@ -81,6 +84,7 @@ class ServiceExperiment:
     run_until: Optional[float] = None
     seed: int = 0
     start_time: float = 0.0
+    tracer: Optional[Tracer] = None
 
 
 @dataclass
@@ -146,7 +150,7 @@ def build_service(experiment: ServiceExperiment) -> VoDService:
     """Construct and seed the service for an experiment (no requests yet)."""
     sim = Simulator(start_time=experiment.start_time)
     topology = experiment.topology_factory()
-    service = VoDService(sim, topology, experiment.config)
+    service = VoDService(sim, topology, experiment.config, tracer=experiment.tracer)
     _apply_selection(service, experiment.selection, experiment.seed)
     _apply_cache(service, experiment.cache)
     _apply_switching(service, experiment.switching)

@@ -6,7 +6,7 @@ the reproduction without digging into assertion code.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.casestudy import (
     CellDelta,
@@ -14,9 +14,13 @@ from repro.experiments.casestudy import (
     compute_table2_utilization_percent,
     compute_table3_lvn,
 )
+from repro.metrics.timeseries import TimeSeries
 from repro.network import grnet
 from repro.network.routing.cache import RoutingCacheStats
 from repro.network.routing.dijkstra import DijkstraStep
+
+#: Sparkline glyphs, blank through full block (9 levels).
+_SPARK_BLOCKS = " ▁▂▃▄▅▆▇█"
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = "") -> str:
@@ -134,6 +138,62 @@ def render_dijkstra_trace(
             row.append(step.path_label(uid))
         rows.append(row)
     return render_table(headers, rows, title=title)
+
+
+def _sparkline(values: Sequence[float], width: int, peak: float) -> str:
+    """Peak-preserving resample of ``values`` into ``width`` glyph buckets."""
+    if not values:
+        return " " * width
+    top = len(_SPARK_BLOCKS) - 1
+    cells: List[str] = []
+    for bucket in range(width):
+        lo = bucket * len(values) // width
+        hi = max((bucket + 1) * len(values) // width, lo + 1)
+        chunk = max(values[lo:hi])
+        level = round(chunk / peak * top) if peak > 0.0 else 0
+        cells.append(_SPARK_BLOCKS[min(max(level, 0), top)])
+    return "".join(cells)
+
+
+def render_timeline(
+    rows: Sequence[Tuple[str, TimeSeries]],
+    title: str = "",
+    width: int = 60,
+) -> str:
+    """Labelled sparkline timelines of sampled gauge series.
+
+    Built for the telemetry sampler's output: each row is a
+    ``(label, series)`` pair (e.g. from
+    :meth:`~repro.obs.sampler.TelemetrySampler.series_for`), rendered as
+    one sparkline resampled to ``width`` buckets (peak-preserving, so a
+    short utilisation spike never disappears).  Every row is scaled
+    against its own peak, annotated on the right.
+
+    Args:
+        rows: ``(label, TimeSeries)`` pairs; empty series are skipped.
+        title: Caption printed above the block.
+        width: Sparkline width in characters.
+    """
+    kept = [(label, series) for label, series in rows if len(series) > 0]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not kept:
+        lines.append("(no samples)")
+        return "\n".join(lines)
+    label_width = max(len(label) for label, _ in kept)
+    for label, series in kept:
+        values = series.values()
+        peak = max(values)
+        spark = _sparkline(values, width, peak)
+        lines.append(f"{label.ljust(label_width)} |{spark}| peak {peak:g}")
+    first = min(series.samples()[0][0] for _, series in kept)
+    last = max(series.samples()[-1][0] for _, series in kept)
+    lines.append(
+        f"{''.ljust(label_width)}  t = {first:g} .. {last:g} s "
+        f"({len(kept)} series)"
+    )
+    return "\n".join(lines)
 
 
 def render_experiment(outcome: ExperimentOutcome) -> str:

@@ -11,7 +11,7 @@ the ``sweep-cluster-size`` CLI command.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, Optional, Sequence, Tuple
 
 from repro.core.service import ServiceConfig, VoDService
 from repro.core.session import SessionRecord

@@ -24,8 +24,8 @@ ablation benchmark compares the two.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.core.lvn import weight_table
 from repro.errors import CacheError, ReproError, TitleUnavailableError

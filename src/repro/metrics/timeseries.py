@@ -13,15 +13,33 @@ from repro.errors import ReproError
 
 
 class TimeSeries:
-    """(time, value) samples, times non-decreasing."""
+    """(time, value) samples, times non-decreasing.
 
-    def __init__(self, name: str = ""):
+    Args:
+        name: Label used in error messages and exports.
+        capacity: Optional ring bound — keep at most this many samples,
+            dropping the oldest first (the telemetry sampler uses this so
+            long runs stay bounded).  None keeps everything.
+    """
+
+    def __init__(self, name: str = "", capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ReproError(
+                f"time series {name!r}: capacity must be >= 1, got {capacity!r}"
+            )
         self.name = name
+        self.capacity = capacity
         self._times: List[float] = []
         self._values: List[float] = []
+        self._dropped = 0
 
     def __len__(self) -> int:
         return len(self._times)
+
+    @property
+    def dropped_count(self) -> int:
+        """Samples discarded due to the capacity bound."""
+        return self._dropped
 
     def record(self, time: float, value: float) -> None:
         """Append one sample.
@@ -36,6 +54,11 @@ class TimeSeries:
             )
         self._times.append(float(time))
         self._values.append(float(value))
+        if self.capacity is not None and len(self._times) > self.capacity:
+            overflow = len(self._times) - self.capacity
+            del self._times[:overflow]
+            del self._values[:overflow]
+            self._dropped += overflow
 
     def samples(self) -> List[Tuple[float, float]]:
         """All samples as (time, value) pairs."""

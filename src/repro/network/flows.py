@@ -9,7 +9,7 @@ half-updated by an admission failure mid-path.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.errors import FlowError, LinkCapacityError

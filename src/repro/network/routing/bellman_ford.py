@@ -17,7 +17,7 @@ been required had the weights truly been negative.  It is provided
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import RoutingError, TopologyError

@@ -8,7 +8,7 @@ Dijkstra need.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Tuple
 
 from repro.errors import TopologyError
 from repro.network.link import STATE_CHANGE, Link, link_key

@@ -1,0 +1,192 @@
+"""Telemetry serialisation and run summaries.
+
+One run's telemetry flattens into a stream of JSON-ready row dicts
+(:func:`telemetry_rows`) which :func:`export_jsonl` / :func:`export_csv`
+serialise.  Row kinds:
+
+``sample``
+    One sampler snapshot of a gauge or counter: name, labels, time, value.
+``counter`` / ``histogram``
+    End-of-run totals and distribution summaries per instrument.
+``span``
+    One full session span (see :mod:`repro.obs.spans`).
+
+:func:`summarize_telemetry` renders the operator-facing text summary the
+``python -m repro obs`` subcommand prints.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, TextIO
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sampler import TelemetrySampler
+from repro.obs.spans import SessionSpan
+from repro.sim.trace import Tracer
+
+
+def telemetry_rows(
+    registry: MetricsRegistry,
+    sampler: Optional[TelemetrySampler] = None,
+    spans: Optional[Sequence[SessionSpan]] = None,
+) -> Iterator[Dict[str, object]]:
+    """Flatten one run's telemetry into JSON-ready row dicts."""
+    if sampler is not None:
+        for (name, labels), series in sorted(sampler.series().items()):
+            label_dict = dict(labels)
+            for time, value in series.samples():
+                yield {
+                    "kind": "sample",
+                    "name": name,
+                    "labels": label_dict,
+                    "time": time,
+                    "value": value,
+                }
+    for counter in registry.counters():
+        yield {
+            "kind": "counter",
+            "name": counter.name,
+            "labels": counter.label_dict(),
+            "value": counter.value,
+        }
+    for histogram in registry.histograms():
+        yield {
+            "kind": "histogram",
+            "name": histogram.name,
+            "labels": histogram.label_dict(),
+            **histogram.summary(),
+        }
+    for span in spans or ():
+        yield {"kind": "span", **span.to_dict()}
+
+
+def export_jsonl(rows: Iterable[Dict[str, object]], out: TextIO) -> int:
+    """Write rows as JSON Lines; returns the row count."""
+    count = 0
+    for row in rows:
+        out.write(json.dumps(row, sort_keys=True))
+        out.write("\n")
+        count += 1
+    return count
+
+
+def export_csv(rows: Iterable[Dict[str, object]], out: TextIO) -> int:
+    """Write ``sample`` rows as CSV (kind,name,labels,time,value).
+
+    Non-sample rows (counter totals, histogram summaries, spans) carry
+    nested payloads that do not fit a flat table; they are flattened to
+    their headline value or skipped (spans).
+
+    Returns:
+        The number of data rows written.
+    """
+    writer = csv.writer(out)
+    writer.writerow(["kind", "name", "labels", "time", "value"])
+    count = 0
+    for row in rows:
+        kind = row.get("kind")
+        if kind == "span":
+            continue
+        labels = ";".join(f"{k}={v}" for k, v in sorted(dict(row.get("labels", {})).items()))
+        if kind == "sample":
+            value = row["value"]
+            time = row["time"]
+        elif kind == "counter":
+            value, time = row["value"], ""
+        elif kind == "histogram":
+            value, time = row.get("mean", 0.0), ""
+        else:
+            continue
+        writer.writerow([kind, row["name"], labels, time, value])
+        count += 1
+    return count
+
+
+def summarize_telemetry(
+    registry: MetricsRegistry,
+    sampler: Optional[TelemetrySampler] = None,
+    spans: Optional[Sequence[SessionSpan]] = None,
+    tracer: Optional[Tracer] = None,
+    top: int = 8,
+) -> str:
+    """Operator-facing text summary of one run's telemetry."""
+    lines: List[str] = ["Telemetry summary", "=" * 40]
+    if not registry.enabled:
+        lines.append("observability disabled (no-op registry)")
+        return "\n".join(lines)
+
+    families = registry.families()
+    lines.append(
+        f"instruments: {len(registry)} across {len(families)} families "
+        f"({len(registry.gauges())} gauges, {len(registry.counters())} counters, "
+        f"{len(registry.histograms())} histograms)"
+    )
+    if sampler is not None:
+        lines.append(
+            f"sampling: {sampler.sample_count} rounds every {sampler.period_s:g} s "
+            f"of simulated time"
+        )
+
+    counters = [c for c in registry.counters() if c.value > 0]
+    if counters:
+        lines.append("counters (non-zero):")
+        for counter in counters:
+            label_text = ",".join(f"{k}={v}" for k, v in counter.labels)
+            suffix = f"{{{label_text}}}" if label_text else ""
+            lines.append(f"  {counter.name + suffix:<44} {counter.value:12g}")
+
+    histograms = [h for h in registry.histograms() if h.count > 0]
+    if histograms:
+        lines.append("histograms:")
+        for histogram in histograms:
+            s = histogram.summary()
+            lines.append(
+                f"  {histogram.name:<34} n={s['count']:<6g} mean={s['mean']:.3f} "
+                f"p95={s['p95']:.3f} max={s['max']:.3f}"
+            )
+
+    if sampler is not None:
+        hottest = _hottest_series(sampler, "link.utilization", top)
+        if hottest:
+            lines.append("hottest links (peak utilisation):")
+            for labels, peak, avg in hottest:
+                lines.append(
+                    f"  {labels.get('link', '?'):<24} peak {peak:7.2%}  "
+                    f"time-avg {avg:7.2%}"
+                )
+        fullest = _hottest_series(sampler, "server.cache_fraction", top)
+        if fullest:
+            lines.append("fullest caches (peak occupancy):")
+            for labels, peak, avg in fullest:
+                lines.append(
+                    f"  {labels.get('server', '?'):<24} peak {peak:7.2%}  "
+                    f"time-avg {avg:7.2%}"
+                )
+
+    if spans:
+        finished = [s for s in spans if not s.open]
+        switches = sum(s.switch_count for s in spans)
+        decisions = sum(s.decision_count for s in spans)
+        lines.append(
+            f"spans: {len(spans)} sessions ({len(finished)} finished), "
+            f"{decisions} VRA decisions, {switches} switches"
+        )
+    if tracer is not None and tracer.enabled:
+        lines.append(
+            f"trace: {len(tracer)} events in {len(tracer.categories())} "
+            f"categories, {tracer.dropped_count} dropped by capacity bound"
+        )
+    return "\n".join(lines)
+
+
+def _hottest_series(sampler: TelemetrySampler, family: str, top: int):
+    """(labels, peak, time-average) of a family's series, hottest first."""
+    ranked = []
+    for labels, series in sampler.series_for(family):
+        if len(series) == 0:
+            continue
+        ranked.append((labels, series.maximum(), series.time_average()))
+    ranked.sort(key=lambda row: (-row[1], sorted(row[0].items())))
+    return ranked[:top]

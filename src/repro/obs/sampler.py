@@ -1,0 +1,139 @@
+"""Sim-time telemetry sampling.
+
+The :class:`TelemetrySampler` is a periodic simulator task (the same
+primitive as the SNMP statistics modules) that snapshots every gauge —
+and, optionally, every counter — registered in a
+:class:`~repro.obs.registry.MetricsRegistry` into ring-buffered
+:class:`~repro.metrics.timeseries.TimeSeries`, one per instrument.
+
+Sampling on the simulated clock keeps runs deterministic: the timeline a
+run exports depends only on the seed and schedule, never on wall-clock
+speed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.metrics.timeseries import TimeSeries
+from repro.obs.registry import Instrument, LabelSet, MetricsRegistry
+from repro.sim.engine import Simulator
+from repro.sim.timers import PeriodicTask
+
+#: Default sampling period: one minute of simulated time, the same order
+#: as the paper's SNMP statistics period.
+DEFAULT_SAMPLE_PERIOD_S = 60.0
+
+#: Default ring bound per series: a full simulated day at the default
+#: period, which keeps even week-long soak runs bounded.
+DEFAULT_SERIES_CAPACITY = 1440
+
+#: A series is keyed by its instrument's (family name, frozen labels).
+SeriesKey = Tuple[str, LabelSet]
+
+
+class TelemetrySampler:
+    """Periodically snapshots registry instruments into time series.
+
+    Args:
+        sim: The simulation engine driving the period.
+        registry: The instrument catalog to sample.  A disabled registry
+            yields no series (and :meth:`start` is then a no-op).
+        period_s: Simulated seconds between samples.
+        capacity: Ring bound per series (oldest samples dropped first).
+        sample_counters: Also record cumulative counter values each
+            round, giving rate-over-time views of e.g. VRA decisions.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        registry: MetricsRegistry,
+        period_s: float = DEFAULT_SAMPLE_PERIOD_S,
+        capacity: int = DEFAULT_SERIES_CAPACITY,
+        sample_counters: bool = True,
+    ):
+        if not (period_s > 0.0):
+            raise ReproError(f"sample period must be positive, got {period_s!r}")
+        self._sim = sim
+        self._registry = registry
+        self._capacity = capacity
+        self._sample_counters = sample_counters
+        self._series: Dict[SeriesKey, TimeSeries] = {}
+        self._task = PeriodicTask(sim, period_s, self.sample, name="telemetry")
+
+    @property
+    def period_s(self) -> float:
+        """Sampling period in simulated seconds."""
+        return self._task.period
+
+    @property
+    def sample_count(self) -> int:
+        """Sampling rounds taken so far."""
+        return self._task.fire_count
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Take one immediate sample and begin periodic sampling."""
+        if not self._registry.enabled:
+            return
+        if not self._task.running:
+            self.sample()
+            self._task.start()
+
+    def stop(self) -> None:
+        """Stop periodic sampling (recorded series are kept)."""
+        if self._task.running:
+            self._task.stop()
+
+    # ------------------------------------------------------------------ #
+    # sampling
+    # ------------------------------------------------------------------ #
+    def sample(self) -> None:
+        """Snapshot every gauge (and counter) into its series, at sim-now."""
+        now = self._sim.now
+        for gauge in self._registry.gauges():
+            self._series_for(gauge).record(now, gauge.value)
+        if self._sample_counters:
+            for counter in self._registry.counters():
+                self._series_for(counter).record(now, counter.value)
+
+    def _series_for(self, instrument: Instrument) -> TimeSeries:
+        key = (instrument.name, instrument.labels)
+        series = self._series.get(key)
+        if series is None:
+            label_text = ",".join(f"{k}={v}" for k, v in instrument.labels)
+            series = TimeSeries(
+                name=f"{instrument.name}{{{label_text}}}" if label_text else instrument.name,
+                capacity=self._capacity,
+            )
+            self._series[key] = series
+        return series
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    def series(self) -> Dict[SeriesKey, TimeSeries]:
+        """Every recorded series, keyed by (family name, frozen labels)."""
+        return dict(self._series)
+
+    def series_for(self, name: str) -> List[Tuple[Dict[str, str], TimeSeries]]:
+        """All series of one family as (labels, series) pairs, sorted."""
+        found = [
+            (dict(labels), series)
+            for (family, labels), series in self._series.items()
+            if family == name
+        ]
+        return sorted(found, key=lambda pair: tuple(sorted(pair[0].items())))
+
+    def families(self) -> List[str]:
+        """Distinct family names with at least one recorded series."""
+        return sorted({family for family, _ in self._series})
+
+    def get(self, name: str, labels: Optional[Dict[str, str]] = None) -> Optional[TimeSeries]:
+        """One series by family name and exact labels, or None."""
+        frozen: LabelSet = tuple(sorted((str(k), str(v)) for k, v in (labels or {}).items()))
+        return self._series.get((name, frozen))

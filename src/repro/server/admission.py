@@ -23,11 +23,23 @@ class AdmissionController:
         self._active: Set[int] = set()
         self._next_lease = 1
         self.rejected_count = 0
+        self.admitted_count = 0
+        self._peak_active = 0
 
     @property
     def active_count(self) -> int:
         """Streams currently admitted."""
         return len(self._active)
+
+    @property
+    def peak_active(self) -> int:
+        """High-water mark of concurrently admitted streams (telemetry)."""
+        return self._peak_active
+
+    @property
+    def load(self) -> float:
+        """Stream-slot occupancy in [0, 1] (telemetry gauge)."""
+        return len(self._active) / self.max_streams
 
     @property
     def has_capacity(self) -> bool:
@@ -51,6 +63,9 @@ class AdmissionController:
         lease = self._next_lease
         self._next_lease += 1
         self._active.add(lease)
+        self.admitted_count += 1
+        if len(self._active) > self._peak_active:
+            self._peak_active = len(self._active)
         return lease
 
     def release(self, lease: int) -> None:

@@ -9,12 +9,13 @@ in sync through the DMA's store/evict callbacks, so the VRA's
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import List, Set
 
 from repro.core.dma import DiskManipulationAlgorithm, DmaResult
 from repro.database.records import TitleInfo
 from repro.database.store import ServiceDatabase
 from repro.errors import StorageError
+from repro.obs.registry import NULL_COUNTER, MetricsRegistry
 from repro.server.admission import AdmissionController
 from repro.storage.array import DiskArray
 from repro.storage.cache import PopularityTracker
@@ -71,6 +72,39 @@ class VideoServer:
         #: never loses a title's last copy (Figure 2 alone offers no such
         #: protection — see the failure-injection tests).
         self.pin_seeded = pin_seeded
+        # Telemetry instruments; no-ops until attach_metrics() swaps in
+        # real counters, so the serving/eviction paths need no guards.
+        self._m_serves = NULL_COUNTER
+        self._m_dma_stores = NULL_COUNTER
+        self._m_dma_evictions = NULL_COUNTER
+
+    def attach_metrics(self, registry: MetricsRegistry) -> None:
+        """Resolve this server's telemetry counters from a registry.
+
+        Creates per-server ``server.serves`` / ``server.dma_stores`` /
+        ``server.dma_evictions`` counters and, when the cache policy has
+        a popularity tracker, wires its point counter.  Safe to call on a
+        disabled registry (everything stays a no-op).
+        """
+        labels = {"server": self.node_uid}
+        self._m_serves = registry.counter(
+            "server.serves", subsystem="server", labels=labels,
+            description="streams this server began sourcing",
+        )
+        self._m_dma_stores = registry.counter(
+            "server.dma_stores", subsystem="server", labels=labels,
+            description="titles the cache policy stored locally",
+        )
+        self._m_dma_evictions = registry.counter(
+            "server.dma_evictions", subsystem="server", labels=labels,
+            description="titles the cache policy evicted",
+        )
+        tracker = getattr(self.dma, "tracker", None)
+        if tracker is not None:
+            tracker.points_counter = registry.counter(
+                "dma.points_awarded", subsystem="server", labels=labels,
+                description="popularity points awarded by the DMA",
+            )
 
     # ------------------------------------------------------------------ #
     # cache-policy plumbing
@@ -145,6 +179,7 @@ class VideoServer:
             )
         lease = self.admission.admit()
         self.serve_count += 1
+        self._m_serves.inc()
         return lease
 
     def end_serving(self, lease: int) -> None:
@@ -194,12 +229,14 @@ class VideoServer:
         )
 
     def _advertise(self, title_id: str) -> None:
+        self._m_dma_stores.inc()
         if self._defer_dma_advertisements and not self._seeding:
             self._pending_advertisements.add(title_id)
         else:
             self._database.add_title_to_server(self.node_uid, title_id)
 
     def _withdraw(self, title_id: str) -> None:
+        self._m_dma_evictions.inc()
         if title_id in self._pending_advertisements:
             # Evicted before its download finished: it was never advertised.
             self._pending_advertisements.discard(title_id)

@@ -105,6 +105,16 @@ class Simulator:
         """
         return self._pending
 
+    @property
+    def heap_depth(self) -> int:
+        """Raw heap length, cancelled carcasses included.
+
+        Telemetry gauge: ``heap_depth - pending_count`` is the number of
+        cancelled events still waiting to be swept off the heap, which is
+        the engine's memory overhead from cancellation-heavy workloads.
+        """
+        return len(self._heap)
+
     # ------------------------------------------------------------------ #
     # scheduling
     # ------------------------------------------------------------------ #

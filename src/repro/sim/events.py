@@ -8,7 +8,7 @@ the tests assert because stream bookkeeping depends on it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Tuple
 
 

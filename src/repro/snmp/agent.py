@@ -12,7 +12,6 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.errors import SnmpError
-from repro.network.link import Link
 from repro.network.topology import Topology
 from repro.snmp.counters import OctetCounter
 

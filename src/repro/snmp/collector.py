@@ -19,6 +19,7 @@ from repro.database.access import DatabaseHandle
 from repro.database.records import LinkStats
 from repro.errors import SnmpError
 from repro.network.topology import Topology
+from repro.obs.registry import NULL_COUNTER, MetricsRegistry
 from repro.sim.engine import Simulator
 from repro.sim.timers import PeriodicTask
 from repro.snmp.agent import SnmpAgent
@@ -109,6 +110,19 @@ class StatisticsService:
             for node in topology.nodes()
         ]
         self._task = PeriodicTask(sim, period_s, self._collect_all, name="snmp")
+        self._m_rounds = NULL_COUNTER
+        self._m_samples = NULL_COUNTER
+
+    def attach_metrics(self, registry: MetricsRegistry) -> None:
+        """Resolve the collection-round / sample counters from a registry."""
+        self._m_rounds = registry.counter(
+            "snmp.rounds", subsystem="snmp",
+            description="collection rounds across all statistics modules",
+        )
+        self._m_samples = registry.counter(
+            "snmp.samples_written", subsystem="snmp",
+            description="per-link stats entries written to the database",
+        )
 
     def add_node(self, node_uid: str) -> NodeStatisticsModule:
         """Start a statistics module for a node added at runtime."""
@@ -139,5 +153,6 @@ class StatisticsService:
 
     def _collect_all(self) -> None:
         now = self._sim.now
+        self._m_rounds.inc()
         for module in self._modules:
-            module.collect(now)
+            self._m_samples.inc(len(module.collect(now)))

@@ -9,7 +9,7 @@ check relies on.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.errors import StorageError, StripingError
 from repro.storage.disk import Disk, StoredCluster

@@ -24,6 +24,18 @@ class PopularityTracker:
         self._points: Dict[str, int] = {}
         self._first_seen: Dict[str, int] = {}
         self._order = itertools.count()
+        #: Optional telemetry counter (anything with ``inc()``) bumped per
+        #: awarded point; the service wires a registry counter here so the
+        #: DMA's request pressure shows up in sampled timelines.
+        self.points_counter = None
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def tracked_count(self) -> int:
+        """Number of titles in the points table (telemetry gauge)."""
+        return len(self._points)
 
     def give_point(self, title_id: str) -> int:
         """Award one point ("Give a point to the Video").
@@ -33,6 +45,8 @@ class PopularityTracker:
         """
         self._ensure_tracked(title_id)
         self._points[title_id] += 1
+        if self.points_counter is not None:
+            self.points_counter.inc()
         return self._points[title_id]
 
     def points_of(self, title_id: str) -> int:

@@ -10,7 +10,7 @@ generic synthetic equivalent for non-GRNET topologies.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Optional
+from typing import Callable, Optional
 
 from repro.errors import WorkloadError
 from repro.network import grnet

@@ -7,7 +7,9 @@ from repro.experiments.report import (
     render_table,
     render_table2,
     render_table3,
+    render_timeline,
 )
+from repro.metrics.timeseries import TimeSeries
 
 
 class TestRenderTable:
@@ -63,3 +65,42 @@ class TestPaperTables:
         text = render_experiment(run_experiment("C"))
         assert "download from U3" in text
         assert "Erratum" not in text
+
+
+class TestRenderTimeline:
+    @staticmethod
+    def series(values, start=0.0, step=10.0):
+        ts = TimeSeries("s")
+        for i, v in enumerate(values):
+            ts.record(start + i * step, v)
+        return ts
+
+    def test_rows_labeled_and_annotated(self):
+        text = render_timeline(
+            [
+                ("Patra-Athens", self.series([0.0, 0.5, 1.0])),
+                ("Xanthi", self.series([0.25, 0.25])),
+            ],
+            title="util",
+            width=12,
+        )
+        lines = text.splitlines()
+        assert lines[0] == "util"
+        assert lines[1].startswith("Patra-Athens |")
+        assert "peak 1" in lines[1]
+        assert "peak 0.25" in lines[2]
+        assert "t = 0 .. 20 s" in lines[3]
+
+    def test_peak_preserving_resample(self):
+        # One short spike in a long flat series must survive downsampling.
+        values = [0.0] * 50 + [1.0] + [0.0] * 49
+        text = render_timeline([("spiky", self.series(values))], width=10)
+        assert "█" in text.splitlines()[0]
+
+    def test_empty_and_all_empty(self):
+        assert "(no samples)" in render_timeline([("a", TimeSeries())])
+        mixed = render_timeline(
+            [("empty", TimeSeries()), ("full", self.series([1.0]))]
+        )
+        assert "empty" not in mixed
+        assert "full" in mixed

@@ -113,3 +113,51 @@ class TestSummarize:
         metrics = summarize_sessions(records)
         assert metrics.mean_startup_s == pytest.approx(5.0)
         assert metrics.qos_violation_fraction == 0.0
+
+
+class TestSummarizeEdgeCases:
+    def test_all_failed_batch_yields_zero_rates_not_errors(self):
+        records = [
+            make_record([], completed=False),
+            make_record([cluster(0, ["A", "B"], qos=True)], completed=False, switches=3),
+        ]
+        metrics = summarize_sessions(records)
+        assert metrics.session_count == 2
+        assert metrics.completed_count == 0
+        assert metrics.failed_count == 2
+        assert metrics.local_serve_fraction == 0.0
+        assert metrics.mean_startup_s == 0.0
+        assert metrics.p95_startup_s == 0.0
+        assert metrics.switches_per_session == 0.0
+        assert metrics.qos_violation_fraction == 0.0
+        assert metrics.mean_hop_count == 0.0
+        assert metrics.megabyte_hops == 0.0
+        # Switches of failed sessions are excluded, like the other
+        # quality metrics.
+        assert metrics.total_switches == 0
+
+    def test_completed_session_with_zero_clusters(self):
+        # Degenerate but reachable (zero-size titles): no division by the
+        # empty cluster list, and a clusterless session is vacuously local.
+        metrics = summarize_sessions([make_record([], startup=7.0)])
+        assert metrics.completed_count == 1
+        assert metrics.local_serve_fraction == 1.0
+        assert metrics.qos_violation_fraction == 0.0
+        assert metrics.mean_hop_count == 0.0
+        assert metrics.megabyte_hops == 0.0
+        assert metrics.mean_startup_s == pytest.approx(7.0)
+
+    def test_p95_on_single_element_startup_list(self):
+        metrics = summarize_sessions([make_record([cluster(0, ["A"])], startup=42.0)])
+        assert metrics.p95_startup_s == pytest.approx(42.0)
+        assert metrics.mean_startup_s == pytest.approx(42.0)
+
+    def test_in_flight_sessions_count_neither_completed_nor_failed(self):
+        request = VideoRequest(
+            client_id="c", home_uid="A", title_id="t", submitted_at=0.0
+        )
+        record = SessionRecord(request=request)  # still streaming
+        metrics = summarize_sessions([record])
+        assert metrics.session_count == 1
+        assert metrics.completed_count == 0
+        assert metrics.failed_count == 0

@@ -6,6 +6,27 @@ from repro.errors import ReproError
 from repro.metrics.timeseries import TimeSeries
 
 
+class TestCapacity:
+    def test_ring_drops_oldest_first(self):
+        series = TimeSeries("ring", capacity=3)
+        for t in range(5):
+            series.record(float(t), float(t * 10))
+        assert len(series) == 3
+        assert series.dropped_count == 2
+        assert series.samples() == [(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]
+
+    def test_unbounded_by_default(self):
+        series = TimeSeries()
+        for t in range(100):
+            series.record(float(t), 1.0)
+        assert len(series) == 100
+        assert series.dropped_count == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ReproError):
+            TimeSeries(capacity=0)
+
+
 class TestRecording:
     def test_append_and_length(self):
         series = TimeSeries("util")

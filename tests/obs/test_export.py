@@ -1,0 +1,103 @@
+"""Unit tests for telemetry export and summaries."""
+
+import csv
+import io
+import json
+
+from repro.obs.export import (
+    export_csv,
+    export_jsonl,
+    summarize_telemetry,
+    telemetry_rows,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sampler import TelemetrySampler
+from repro.obs.spans import SessionSpan
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+
+def make_run():
+    """A tiny instrumented run: one gauge, one counter, one histogram, one span."""
+    sim = Simulator()
+    registry = MetricsRegistry()
+    registry.gauge("link.utilization", labels={"link": "a-b"}, callback=lambda: 0.5)
+    counter = registry.counter("vra.decisions")
+    counter.inc(3.0)
+    hist = registry.histogram("vra.decision_latency_ms")
+    hist.observe(0.2)
+    sampler = TelemetrySampler(sim, registry, period_s=10.0)
+    sampler.start()
+    sim.run(until=20.0)
+    span = SessionSpan(
+        request_id=1, client_id="c", title_id="t", home_uid="U1", started_at=0.0
+    )
+    span.add(0.0, "submitted")
+    span.finish(5.0, "completed")
+    return registry, sampler, [span]
+
+
+class TestRows:
+    def test_row_kinds_and_contents(self):
+        registry, sampler, spans = make_run()
+        rows = list(telemetry_rows(registry, sampler, spans))
+        kinds = {row["kind"] for row in rows}
+        assert kinds == {"sample", "counter", "histogram", "span"}
+        sample = next(r for r in rows if r["kind"] == "sample" and r["name"] == "link.utilization")
+        assert sample["labels"] == {"link": "a-b"}
+        assert sample["value"] == 0.5
+        counter = next(r for r in rows if r["kind"] == "counter")
+        assert counter["value"] == 3.0
+        histogram = next(r for r in rows if r["kind"] == "histogram")
+        assert histogram["count"] == 1
+        span_row = next(r for r in rows if r["kind"] == "span")
+        assert span_row["status"] == "completed"
+
+    def test_registry_only_rows(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        rows = list(telemetry_rows(registry))
+        assert [r["kind"] for r in rows] == ["counter"]
+
+
+class TestJsonl:
+    def test_every_line_is_valid_json(self):
+        registry, sampler, spans = make_run()
+        out = io.StringIO()
+        count = export_jsonl(telemetry_rows(registry, sampler, spans), out)
+        lines = out.getvalue().strip().splitlines()
+        assert len(lines) == count > 0
+        parsed = [json.loads(line) for line in lines]
+        assert {row["kind"] for row in parsed} == {"sample", "counter", "histogram", "span"}
+
+
+class TestCsv:
+    def test_header_and_span_skipping(self):
+        registry, sampler, spans = make_run()
+        out = io.StringIO()
+        count = export_csv(telemetry_rows(registry, sampler, spans), out)
+        rows = list(csv.reader(io.StringIO(out.getvalue())))
+        assert rows[0] == ["kind", "name", "labels", "time", "value"]
+        assert len(rows) - 1 == count
+        kinds = {row[0] for row in rows[1:]}
+        assert "span" not in kinds
+        assert {"sample", "counter", "histogram"} <= kinds
+        sample = next(row for row in rows[1:] if row[0] == "sample")
+        assert sample[2] == "link=a-b"
+
+
+class TestSummary:
+    def test_disabled_registry_summary(self):
+        text = summarize_telemetry(MetricsRegistry(enabled=False))
+        assert "observability disabled" in text
+
+    def test_enabled_summary_mentions_instruments_and_trace_drops(self):
+        registry, sampler, spans = make_run()
+        tracer = Tracer(capacity=1)
+        tracer.record(0.0, "a", "x")
+        tracer.record(1.0, "b", "y")
+        text = summarize_telemetry(registry, sampler, spans, tracer)
+        assert "instruments:" in text
+        assert "vra.decisions" in text
+        assert "spans: 1 sessions (1 finished)" in text
+        assert "1 dropped by capacity bound" in text

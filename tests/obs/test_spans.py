@@ -1,0 +1,72 @@
+"""Unit tests for per-request session spans."""
+
+from repro.obs.spans import SessionSpan
+from repro.sim.trace import Tracer
+
+
+def make_span(sink=None):
+    return SessionSpan(
+        request_id=7,
+        client_id="c1",
+        title_id="t1",
+        home_uid="U2",
+        started_at=100.0,
+        sink=sink,
+    )
+
+
+class TestLifecycle:
+    def test_open_until_finished(self):
+        span = make_span()
+        assert span.open
+        assert span.duration_s is None
+        span.finish(160.0, "completed")
+        assert not span.open
+        assert span.status == "completed"
+        assert span.duration_s == 60.0
+        assert span.events[-1].kind == "finished"
+
+    def test_event_queries(self):
+        span = make_span()
+        span.add(100.0, "vra.decision", chosen_uid="U4")
+        span.add(130.0, "cluster.delivered", index=0, server_uid="U4")
+        span.add(130.0, "switch", to_server="U5", cluster=1)
+        span.add(130.0, "vra.decision", chosen_uid="U5")
+        span.add(150.0, "cluster.delivered", index=1, server_uid="U5")
+        assert span.decision_count == 2
+        assert span.switch_count == 1
+        assert span.servers_used == ["U4", "U5"]
+
+
+class TestSink:
+    def test_events_forward_to_tracer_under_span_categories(self):
+        tracer = Tracer()
+        span = make_span(sink=tracer)
+        span.add(100.0, "vra.decision", chosen_uid="U4")
+        span.finish(160.0, "completed")
+        assert tracer.categories() == ["span.finished", "span.vra.decision"]
+        event = tracer.events("span.vra.decision")[0]
+        assert event.data["request_id"] == 7
+        assert event.data["chosen_uid"] == "U4"
+        assert "c1/t1" in event.message
+
+    def test_no_sink_is_fine(self):
+        span = make_span()
+        span.add(100.0, "submitted")
+        assert len(span.events) == 1
+
+
+class TestExportShape:
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        span = make_span()
+        span.add(100.0, "vra.decision", epoch=("db", 1, 2), cost=0.5)
+        span.finish(160.0, "completed")
+        payload = span.to_dict()
+        # Tuples coerced to lists, so json round-trips losslessly.
+        assert payload["events"][0]["epoch"] == ["db", 1, 2]
+        assert json.loads(json.dumps(payload)) == json.loads(json.dumps(payload))
+        assert payload["request_id"] == 7
+        assert payload["decision_count"] == 1
+        assert payload["status"] == "completed"

@@ -1,6 +1,14 @@
 """Unit tests for the structured tracer."""
 
-from repro.sim.trace import TraceEvent, Tracer
+import json
+
+from repro.sim.trace import (
+    TraceEvent,
+    Tracer,
+    category_pad_width,
+    register_category,
+    registered_categories,
+)
 
 
 class TestRecording:
@@ -77,6 +85,60 @@ class TestQueries:
             TraceEvent(3.0, "c", "e3", {}).format(),
             TraceEvent(4.0, "c", "e4", {}).format(),
         ]
+
+
+class TestFormatPadding:
+    def test_pad_width_covers_every_registered_category(self):
+        # The historical bug: format() hard-coded an 18-char pad, which
+        # "span.cluster.delivered" (22 chars) overflowed, breaking column
+        # alignment.  The width now derives from the registered set.
+        assert category_pad_width() == max(
+            len(category) for category in registered_categories()
+        )
+        assert category_pad_width() >= len("span.cluster.delivered")
+
+    def test_known_categories_align(self):
+        short = TraceEvent(1.0, "dma.pass", "m", {}).format()
+        long = TraceEvent(1.0, "span.cluster.delivered", "m", {}).format()
+        assert short.index(" m") == long.index(" m")
+
+    def test_unseen_category_registers_and_grows_the_pad(self):
+        category = "x" * (category_pad_width() + 4)
+        line = TraceEvent(1.0, category, "msg", {}).format()
+        assert category in registered_categories()
+        assert category_pad_width() >= len(category)
+        # The event's own line never overflows its column.
+        assert f"{category} msg" in line
+
+    def test_register_category_is_idempotent(self):
+        before = category_pad_width()
+        register_category("dma.pass")
+        register_category("dma.pass")
+        assert category_pad_width() == before
+        assert registered_categories().count("dma.pass") == 1
+
+
+class TestJsonlExport:
+    def test_to_jsonl_round_trips(self):
+        tracer = Tracer()
+        tracer.record(1.0, "vra.decision", "chose U4", chosen_uid="U4", cost=0.5)
+        tracer.record(2.0, "dma.pass", "stored", evicted=("a", "b"))
+        lines = tracer.to_jsonl().splitlines()
+        rows = [json.loads(line) for line in lines]
+        assert rows[0]["category"] == "vra.decision"
+        assert rows[0]["data.chosen_uid"] == "U4"
+        # Tuples coerced to lists so the export is valid JSON.
+        assert rows[1]["data.evicted"] == ["a", "b"]
+
+    def test_export_jsonl_counts_and_filters(self):
+        import io
+
+        tracer = Tracer()
+        tracer.record(1.0, "vra.decision", "a")
+        tracer.record(2.0, "dma.pass", "b")
+        out = io.StringIO()
+        assert tracer.export_jsonl(out, category="vra") == 1
+        assert json.loads(out.getvalue())["category"] == "vra.decision"
 
 
 class TestServiceIntegration:

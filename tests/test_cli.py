@@ -152,3 +152,54 @@ class TestExportGrnet:
     def test_bad_time_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["export-grnet", str(tmp_path / "x.json"), "--time", "noon"])
+
+
+class TestObs:
+    FAST = ["obs", "--requests-per-node", "2", "--catalog-size", "3",
+            "--sample-period", "300"]
+
+    def test_summary_reports_instruments_and_spans(self, capsys):
+        assert main(self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry summary" in out
+        assert "instruments:" in out
+        assert "spans:" in out
+        assert "hottest links" in out
+
+    def test_jsonl_export_is_valid_and_diverse(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "run.jsonl"
+        assert main(self.FAST + ["--format", "jsonl", "--out", str(path)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(rows) > 100
+        assert {"sample", "counter", "histogram", "span"} <= {r["kind"] for r in rows}
+        families = {r["name"] for r in rows if r["kind"] == "sample"}
+        # The acceptance bar: at least five distinct instrument families.
+        assert len(families) >= 5
+
+    def test_csv_export_has_header_and_rows(self, capsys):
+        assert main(self.FAST + ["--format", "csv"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0] == "kind,name,labels,time,value"
+        assert len(lines) > 10
+
+    def test_timeline_renders_sparklines(self, capsys):
+        assert main(self.FAST + ["--timeline", "link.utilization"]) == 0
+        out = capsys.readouterr().out
+        assert "link.utilization" in out
+        assert "peak" in out
+
+    def test_trace_export(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        assert main(self.FAST + ["--trace-out", str(path)]) == 0
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert any(r["category"].startswith("span.") for r in rows)
+        assert any(r["category"] == "vra.decision" for r in rows)
+
+    def test_bad_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["obs", "--scenario", "tsunami"])

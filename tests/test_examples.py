@@ -20,6 +20,12 @@ EXPECTED_SNIPPETS = {
     "custom_topology.py": ["metro-ring", "flash crowd"],
     "future_work.py": ["Strip-level distributed caching", "blocked at admission"],
     "failure_recovery.py": ["Server failover", "A new city joins"],
+    "observability.py": [
+        "Telemetry summary",
+        "link utilization over the day",
+        "hottest cache entries (DMA points)",
+        "sessions traced",
+    ],
 }
 
 
