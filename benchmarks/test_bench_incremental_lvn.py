@@ -1,0 +1,137 @@
+"""Incremental LVN maintenance under the SNMP drumbeat.
+
+The paper's statistics modules rewrite the limited-access database every
+1-2 minutes whether or not link usage moved.  Each write advances the
+routing epoch, so PR 1's epoch-versioned cache flushes the LVN table and
+every Dijkstra tree per round even when nothing changed.  Delta
+maintenance (``routing_delta_updates``) drains the change journals
+instead: an all-quiet round patches zero links and keeps every tree; a
+round with one busy link reprices a handful of weight entries and
+revalidates trees in place.
+
+Two scenarios, both with bit-for-bit decision-equivalence checks:
+
+* GRNET drumbeat — every link reports an unchanged value between
+  decisions.  Acceptance bar: delta maintenance sustains at least 2x the
+  full-invalidation decision rate.
+* Synthetic 60-node churn — one link's traffic actually moves per round,
+  so every epoch has real work; delta must still be at least as fast.
+"""
+
+import time
+
+from repro.core.service import ServiceConfig, VoDService
+from repro.database.records import LinkStats
+from repro.experiments.report import render_routing_cache
+from repro.network.grnet import build_grnet_topology
+from repro.network.topologies import random_topology
+from repro.sim.engine import Simulator
+from repro.storage.video import VideoTitle
+
+MOVIE = VideoTitle("movie", size_mb=600.0, duration_s=3_600.0)
+
+SYNTHETIC_NODES = 60
+SYNTHETIC_EXTRA_LINKS = 60
+
+
+def build_drumbeat_service(topology_factory, origin_uid, delta_on):
+    service = VoDService(
+        Simulator(),
+        topology_factory(),
+        ServiceConfig(routing_cache_size=128, routing_delta_updates=delta_on),
+    )
+    service.seed_title(origin_uid, MOVIE)
+    service.start()
+    return service
+
+
+def snmp_round(service, timestamp, churn_link=None, churn_mbps=0.0):
+    """One statistics round: every link reports; optionally one churns."""
+    if churn_link is not None:
+        churn_link.set_background_mbps(churn_mbps)
+    db = service.database
+    for link in service.topology.links():
+        db.update_link_stats(
+            link.name,
+            LinkStats(
+                used_mbps=link.used_mbps,
+                utilization=min(link.used_mbps / link.capacity_mbps, 1.0),
+                timestamp=timestamp,
+            ),
+        )
+
+
+def drumbeat_rate(service, homes, count, churn=False):
+    """Decisions/sec with a full SNMP round before every decision.
+
+    Returns (rate, decision log) so callers can assert equivalence.
+    """
+    links = list(service.topology.links()) if churn else []
+    decisions = []
+    start = time.perf_counter()
+    for i in range(count):
+        if churn:
+            link = links[i % len(links)]
+            snmp_round(service, float(i), link, (i % 10) / 10.0 * link.capacity_mbps)
+        else:
+            snmp_round(service, float(i))
+        d = service.decide(homes[i % len(homes)], "movie")
+        decisions.append((d.home_uid, d.chosen_uid, d.path.nodes, d.cost))
+    return count / (time.perf_counter() - start), decisions
+
+
+def measure(topology_factory, origin_uid, homes, count, churn):
+    full = build_drumbeat_service(topology_factory, origin_uid, delta_on=False)
+    delta = build_drumbeat_service(topology_factory, origin_uid, delta_on=True)
+    for home in homes:  # warm both caches before timing
+        full.decide(home, "movie")
+        delta.decide(home, "movie")
+    full_rate, full_decisions = drumbeat_rate(full, homes, count, churn)
+    delta_rate, delta_decisions = drumbeat_rate(delta, homes, count, churn)
+    assert delta_decisions == full_decisions  # bit-for-bit under the drumbeat
+    return full_rate, delta_rate, delta.vra.cache_stats
+
+
+def test_incremental_lvn_speedup_grnet_drumbeat(benchmark, show):
+    homes = ["U1", "U2", "U3", "U5", "U6"]
+    full_rate, delta_rate, stats = benchmark.pedantic(
+        measure,
+        args=(build_grnet_topology, "U4", homes, 1_500, False),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        f"Incremental LVN [GRNET drumbeat]: {full_rate:,.0f} decisions/s "
+        f"full-invalidation vs {delta_rate:,.0f} delta "
+        f"({delta_rate / full_rate:.1f}x)\n"
+        + render_routing_cache(stats, title="GRNET drumbeat delta counters")
+    )
+    # Acceptance bar: quiet SNMP rounds must cost (almost) nothing.
+    assert delta_rate >= 2.0 * full_rate
+    assert stats.partial_invalidations > 0
+    assert stats.full_invalidations == 0
+    assert stats.dirty_links == 0  # nothing actually changed
+
+
+def test_incremental_lvn_synthetic_churn(benchmark, show):
+    factory = lambda: random_topology(  # noqa: E731
+        SYNTHETIC_NODES, extra_links=SYNTHETIC_EXTRA_LINKS
+    )
+    homes = [f"N{i}" for i in range(1, SYNTHETIC_NODES, 3)]
+    full_rate, delta_rate, stats = benchmark.pedantic(
+        measure,
+        args=(factory, "N0", homes, 300, True),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        f"Incremental LVN [synthetic, {SYNTHETIC_NODES} nodes, 1 churning "
+        f"link/round]: {full_rate:,.0f} decisions/s full-invalidation vs "
+        f"{delta_rate:,.0f} delta ({delta_rate / full_rate:.1f}x)\n"
+        + render_routing_cache(stats, title="Synthetic churn delta counters")
+    )
+    # Real work every epoch: delta must still never lose to the flush.
+    assert delta_rate >= full_rate
+    assert stats.partial_invalidations > 0
+    assert stats.dirty_links > 0
+    assert stats.trees_repaired > 0

@@ -117,9 +117,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="simulated seconds between telemetry samples")
     obs.add_argument("--seed", type=int, default=23)
 
-    commands.add_parser(
+    sweep = commands.add_parser(
         "sweep-cluster-size",
         help="the X4 ablation: switching granularity vs congestion damage",
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the sweep points (default: one per "
+        "CPU; 1 = serial; output is identical at any job count)",
     )
 
     export = commands.add_parser(
@@ -332,13 +337,13 @@ def _cmd_export_grnet(path: str, time_label: Optional[str]) -> int:
     return 0
 
 
-def _cmd_sweep_cluster_size() -> int:
+def _cmd_sweep_cluster_size(jobs: Optional[int] = None) -> int:
     # Imported lazily: the helper lives with the benchmarks' scenario code.
     from repro.core.session import MIN_TRANSFER_MBPS
     from repro.experiments.sweeps import better_source_sweep
 
     rows = []
-    for cluster_mb, record in better_source_sweep():
+    for cluster_mb, record in better_source_sweep(jobs=jobs):
         duration_h = (record.completed_at - record.request.submitted_at) / 3600.0
         rows.append(
             [
@@ -377,7 +382,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "obs":
             return _cmd_obs(args)
         if args.command == "sweep-cluster-size":
-            return _cmd_sweep_cluster_size()
+            return _cmd_sweep_cluster_size(args.jobs)
         if args.command == "export-grnet":
             return _cmd_export_grnet(args.path, args.time)
     except BrokenPipeError:

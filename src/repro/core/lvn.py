@@ -28,7 +28,7 @@ its staleness, which is part of the system being reproduced.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.network.link import Link
@@ -152,6 +152,22 @@ def weight_table(
     Node validations are computed once per node rather than twice per link,
     so one snapshot costs O(nodes + links).
     """
+    return weight_table_with_nv(topology, used_of, normalization_constant, node_load)[0]
+
+
+def weight_table_with_nv(
+    topology: Topology,
+    used_of: Optional[UsedBandwidthFn] = None,
+    normalization_constant: float = DEFAULT_NORMALIZATION_CONSTANT,
+    node_load: Optional[NodeLoadFn] = None,
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """:func:`weight_table` plus the per-node NV map it was built from.
+
+    The incremental LVN maintenance layer (delta-scoped routing-cache
+    invalidation) keeps the NV map as live state and re-derives only the
+    entries whose inputs moved; routing both the cold and the patched
+    paths through this one function is what keeps them bit-for-bit equal.
+    """
     used = _ground_truth if used_of is None else used_of
     nv: Dict[str, float] = {
         node.uid: node_validation(topology, node.uid, used, node_load)
@@ -161,4 +177,4 @@ def weight_table(
     for link in topology.links():
         lu = link_utilization_term(link, used, normalization_constant)
         table[link.name] = max(nv[link.a_uid], nv[link.b_uid]) + lu
-    return table
+    return table, nv

@@ -1,0 +1,201 @@
+"""Incremental maintenance of the LVN weight table.
+
+:func:`repro.core.lvn.weight_table` prices every link from scratch —
+O(nodes + links) per snapshot.  Between two VRA decisions, though, almost
+nothing moves: an SNMP round that re-reports the same used bandwidth, or a
+handful of links whose traffic changed.  :class:`IncrementalLvnTable`
+keeps the last table plus the per-node NV map as live state and, given the
+set of *dirty* link names (from the topology and database change
+journals), re-derives only the entries whose inputs actually moved.
+
+Correctness contract — **bit-for-bit**, not approximately: a patched table
+must equal a cold :func:`weight_table` recompute down to the last ulp.
+Two design rules enforce that:
+
+* No running accumulators.  NV is re-derived for an affected node by the
+  same full-adjacency :func:`~repro.core.lvn.node_validation` sum the cold
+  path uses; add/subtract deltas would accumulate float drift.
+* Over-patching is harmless.  A journaled link whose value turns out
+  unchanged just recomputes entries to their identical values, so the
+  journals may be over-inclusive (they only must never be
+  under-inclusive).
+
+The per-link workload extension (``node_load``) is intentionally not
+supported here; the VRA falls back to cold recomputes when it is active.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.lvn import (
+    DEFAULT_NORMALIZATION_CONSTANT,
+    UsedBandwidthFn,
+    link_utilization_term,
+    node_validation,
+    weight_table_with_nv,
+)
+from repro.network.routing.dijkstra import LinkDelta
+from repro.network.topology import Topology
+
+#: (used_mbps, online) snapshot of one link, as seen through ``used_of``.
+_LinkState = Tuple[float, bool]
+
+
+class IncrementalLvnTable:
+    """Live LVN weight table patched from dirty-link deltas.
+
+    Args:
+        topology: The network being priced.
+        used_of: Used-bandwidth provider — the same one handed to
+            :func:`~repro.core.lvn.weight_table`, so both paths read
+            identical inputs.
+        normalization_constant: The paper's K (eq. 4).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        used_of: Optional[UsedBandwidthFn] = None,
+        normalization_constant: float = DEFAULT_NORMALIZATION_CONSTANT,
+    ):
+        self._topology = topology
+        self._used_of = used_of
+        self._k = normalization_constant
+        self._table: Optional[Dict[str, float]] = None
+        self._nv: Dict[str, float] = {}
+        self._link_state: Dict[str, _LinkState] = {}
+
+    @property
+    def has_base(self) -> bool:
+        """True once a full rebuild has produced a base table to patch."""
+        return self._table is not None
+
+    def _observe(self, link) -> _LinkState:
+        used = link.used_mbps if self._used_of is None else self._used_of(link)
+        return (used, link.online)
+
+    def rebuild(self) -> Dict[str, float]:
+        """Cold recompute; resets the live state and returns the table.
+
+        Routed through :func:`~repro.core.lvn.weight_table_with_nv` — the
+        exact function the non-incremental path calls — so the base the
+        patches build on is the cold result by construction.
+        """
+        table, nv = weight_table_with_nv(self._topology, self._used_of, self._k)
+        self._table = table
+        self._nv = nv
+        self._link_state = {
+            link.name: self._observe(link) for link in self._topology.links()
+        }
+        return table
+
+    def patch(
+        self, dirty_names: Iterable[str]
+    ) -> Optional[Tuple[Dict[str, float], List[LinkDelta]]]:
+        """Patch the table given the journaled dirty links.
+
+        Args:
+            dirty_names: Names of links that *may* have changed since the
+                last :meth:`rebuild`/:meth:`patch` (over-inclusion is
+                fine).
+
+        Returns:
+            ``(table, deltas)`` on success, where ``table`` is the
+            post-patch weight table (the *same* dict object as before when
+            no weight moved — past decisions hold references to prior
+            tables, so changed tables are copy-on-write) and ``deltas``
+            lists every link whose weight or online state changed, for
+            cached-tree revalidation.  ``None`` when patching is
+            impossible (no base yet, or a journaled name unknown to the
+            topology) and the caller must fall back to a cold rebuild.
+        """
+        if self._table is None:
+            return None
+        topology = self._topology
+
+        # Filter the journal down to links whose routing-visible inputs
+        # actually moved.  The steady-SNMP case — same value re-reported —
+        # dies here, leaving nothing to recompute.
+        changed: List[Tuple[object, _LinkState, Optional[_LinkState]]] = []
+        for name in sorted(set(dirty_names)):
+            try:
+                link = topology.link_named(name)
+            except Exception:
+                return None  # journal names a link the topology lost track of
+            now = self._observe(link)
+            before = self._link_state.get(name)
+            if before != now:
+                changed.append((link, now, before))
+
+        if not changed:
+            return self._table, []
+
+        affected_nodes = sorted(
+            {link.a_uid for link, _, _ in changed}
+            | {link.b_uid for link, _, _ in changed}
+        )
+        nv = self._nv
+        for uid in affected_nodes:
+            nv[uid] = node_validation(topology, uid, self._used_of)
+
+        # Every link touching an affected node needs its weight re-derived
+        # (its max(NV_a, NV_b) term may have moved even if its own traffic
+        # did not).  Deduplicate by name, keep deterministic order.
+        seen = set()
+        recompute = []
+        for uid in affected_nodes:
+            for link in topology.links_at(uid):
+                if link.name not in seen:
+                    seen.add(link.name)
+                    recompute.append(link)
+
+        table = self._table
+        old_weights: Dict[str, Optional[float]] = {}
+        new_values: Dict[str, float] = {}
+        for link in recompute:
+            old_weights[link.name] = table.get(link.name)
+            lu = link_utilization_term(link, self._used_of, self._k)
+            weight = max(nv[link.a_uid], nv[link.b_uid]) + lu
+            if old_weights[link.name] != weight:
+                new_values[link.name] = weight
+
+        if new_values:
+            # Copy-on-write: past decisions (audit traces, cached results)
+            # may hold references to the previous table, which must stay
+            # exactly what they saw.
+            table = dict(table)
+            table.update(new_values)
+            self._table = table
+
+        # Online flips among the truly-changed links.  A flip invalidates
+        # trees even at an identical weight — Dijkstra skips offline links.
+        flips = {
+            link.name: (
+                before[1] if before is not None else False,
+                now[1],
+            )
+            for link, now, before in changed
+            if (before[1] if before is not None else False) != now[1]
+        }
+
+        # Deltas: every recomputed link whose weight moved, plus every
+        # online flip, for cached-tree revalidation.
+        deltas: List[LinkDelta] = []
+        for link in recompute:
+            was_online, now_online = flips.get(link.name, (link.online, link.online))
+            if link.name not in new_values and link.name not in flips:
+                continue
+            deltas.append(
+                LinkDelta(
+                    link=link,
+                    old_weight=old_weights[link.name],
+                    new_weight=table[link.name],
+                    was_online=was_online,
+                    now_online=now_online,
+                )
+            )
+
+        for link, now, _ in changed:
+            self._link_state[link.name] = now
+        return table, deltas

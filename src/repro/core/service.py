@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple, Union
 
 from repro.client.client import Client
 from repro.client.requests import VideoRequest
@@ -40,7 +40,7 @@ from repro.database.records import LinkEntry, ServerEntry
 from repro.database.store import ServiceDatabase
 from repro.errors import ReproError, ServiceError
 from repro.network.flows import FlowManager
-from repro.network.link import Link
+from repro.network.link import STATE_CHANGE, Link
 from repro.network.node import Node
 from repro.network.topology import Topology
 from repro.obs.registry import MetricsRegistry
@@ -96,6 +96,18 @@ class ServiceConfig:
             The cache is also auto-disabled when
             ``use_server_load_in_vra`` is on, because live stream-slot
             occupancy feeds the weights without a version counter.
+        routing_delta_updates: Delta-scoped cache invalidation (requires
+            an active routing cache).  When on, routing epochs are
+            absorbed by patching only the weight-table entries whose
+            links actually changed — drained from the topology and
+            database change journals — and by revalidating cached
+            Dijkstra trees in place, instead of flushing the whole cache
+            per epoch.  Decisions stay bit-for-bit identical (journal
+            overflow falls back to the full flush); this only changes
+            how much work an epoch transition costs, which the
+            ``benchmarks/test_bench_incremental_lvn.py`` drumbeat
+            scenarios measure.  Off restores PR 1's flush-per-epoch
+            behaviour exactly.
         observability: Enable the unified telemetry layer: a live
             metrics registry (per-link utilisation, cache occupancy,
             stream load, VRA decision counters/latency, sim-engine
@@ -124,6 +136,7 @@ class ServiceConfig:
     pin_seeded_titles: bool = True
     vra_trace: bool = False
     routing_cache_size: int = 128
+    routing_delta_updates: bool = True
     observability: bool = False
     telemetry_period_s: float = 60.0
     telemetry_capacity: int = DEFAULT_SERIES_CAPACITY
@@ -227,6 +240,16 @@ class VoDService:
         # Live server load feeds the weights without a version counter, so
         # epoch caching cannot see those changes; fall back to recompute.
         cacheable = not self.config.use_server_load_in_vra
+        delta_on = (
+            cacheable
+            and self.config.routing_delta_updates
+            and self.config.routing_cache_size > 0
+        )
+        # Journal cursors for delta-scoped invalidation.  Starting at the
+        # current heads skips the initialisation-phase records; the VRA's
+        # first (cold) weight build snapshots every link anyway.
+        self._topo_cursor = topology.change_journal.head
+        self._stats_cursor = self.database.stats_journal.head
         self.vra = VirtualRoutingAlgorithm(
             topology,
             used_of=self._reported_used if self.config.use_reported_stats else None,
@@ -235,6 +258,7 @@ class VoDService:
             trace=self.config.vra_trace,
             epoch_of=self.routing_epoch if cacheable else None,
             cache_size=self.config.routing_cache_size,
+            delta_of=self._routing_delta if delta_on else None,
             metrics=self.obs,
         )
         #: Periodic sim-time gauge sampler (a no-op when observability is
@@ -601,6 +625,31 @@ class VoDService:
             self.topology.traffic_version,
             self.topology.state_version,
         )
+
+    def _routing_delta(self) -> Optional[FrozenSet[str]]:
+        """Names of links whose VRA-visible inputs may have moved.
+
+        Drains this service's cursors on the change journals that back
+        :meth:`routing_epoch`: on the reported-stats path, structural
+        topology changes (online/offline, expansion) plus database
+        value changes; on the ground-truth path, every topology change.
+        Returns None when a journal overflowed — the caller (the routing
+        cache's delta probe) then falls back to a full flush.
+        """
+        if self.config.use_reported_stats:
+            self._topo_cursor, structural = self.topology.change_journal.since(
+                self._topo_cursor, kinds=(STATE_CHANGE,)
+            )
+            self._stats_cursor, reported = self.database.stats_journal.since(
+                self._stats_cursor
+            )
+            if structural is None or reported is None:
+                return None
+            return structural | reported
+        self._topo_cursor, names = self.topology.change_journal.since(
+            self._topo_cursor
+        )
+        return names
 
     def snapshot(self) -> Dict[str, object]:
         """One-call operational snapshot of the running service.

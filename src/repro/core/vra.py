@@ -18,7 +18,7 @@ path — which is what the case-study benchmarks print.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence
 
 from repro.core.lvn import (
     DEFAULT_NORMALIZATION_CONSTANT,
@@ -26,6 +26,7 @@ from repro.core.lvn import (
     UsedBandwidthFn,
     weight_table,
 )
+from repro.core.lvn_delta import IncrementalLvnTable
 from repro.errors import ReproError, RoutingError, TitleUnavailableError
 from repro.network.routing.cache import (
     DEFAULT_TREE_CAPACITY,
@@ -43,6 +44,12 @@ PollFn = Callable[[str], bool]
 #: Routing-epoch provider: an opaque hashable token that changes whenever
 #: any input of the LVN equations or Dijkstra could have changed.
 EpochFn = Callable[[], Hashable]
+
+#: Dirty-link provider backing delta-scoped cache invalidation: the names
+#: of every link whose routing-visible inputs may have moved since the
+#: previous call (drained from the topology/database change journals), or
+#: None when the journals overflowed and only a full flush is safe.
+DeltaFn = Callable[[], Optional[FrozenSet[str]]]
 
 
 @dataclass(frozen=True)
@@ -107,9 +114,19 @@ class VirtualRoutingAlgorithm:
             exactly the paper's Figure 5.
         cache_size: LRU bound on cached Dijkstra trees; ``0`` disables
             caching entirely even when ``epoch_of`` is given.
+        delta_of: Optional dirty-link provider.  When given alongside an
+            active cache (and ``node_load`` is None — the incremental
+            table does not model the workload extension), epoch
+            transitions are absorbed by patching the LVN table for just
+            the dirty links and revalidating cached Dijkstra trees
+            in place, instead of flushing everything.  A None return
+            from the provider (journal overflow) falls back to the full
+            flush, so the delta path can never change a decision.
         metrics: Optional telemetry registry; when given (and enabled)
-            the VRA counts decisions / local serves and records a
-            candidate-count histogram under the ``vra.*`` families.
+            the VRA counts decisions / local serves, records a
+            candidate-count histogram under the ``vra.*`` families, and
+            exposes the cache's delta-maintenance counters under
+            ``routing.*``.
     """
 
     def __init__(
@@ -121,6 +138,7 @@ class VirtualRoutingAlgorithm:
         trace: bool = False,
         epoch_of: Optional[EpochFn] = None,
         cache_size: int = DEFAULT_TREE_CAPACITY,
+        delta_of: Optional[DeltaFn] = None,
         metrics: Optional[MetricsRegistry] = None,
     ):
         self._topology = topology
@@ -133,9 +151,19 @@ class VirtualRoutingAlgorithm:
             raise ReproError(
                 f"routing cache size must be >= 0, got {cache_size!r}"
             )
+        cacheable = epoch_of is not None and cache_size > 0
+        self._delta_of = delta_of
+        self._incremental: Optional[IncrementalLvnTable] = (
+            IncrementalLvnTable(topology, used_of, normalization_constant)
+            if cacheable and delta_of is not None and node_load is None
+            else None
+        )
         self.cache: Optional[RoutingCache] = (
-            RoutingCache(max_trees=cache_size)
-            if epoch_of is not None and cache_size > 0
+            RoutingCache(
+                max_trees=cache_size,
+                delta_probe=self._delta_probe if self._incremental is not None else None,
+            )
+            if cacheable
             else None
         )
         self.decision_count = 0
@@ -155,11 +183,18 @@ class VirtualRoutingAlgorithm:
             subsystem="core",
             description="available remote candidates per routed decision",
         )
+        if self.cache is not None and metrics is not None:
+            self.cache.attach_metrics(metrics)
 
     @property
     def cache_stats(self) -> Optional[RoutingCacheStats]:
         """Hit/miss/invalidation counters, or None when caching is off."""
         return self.cache.stats if self.cache is not None else None
+
+    @property
+    def delta_maintenance(self) -> bool:
+        """True when the cache patches epochs from dirty-link deltas."""
+        return self._incremental is not None
 
     def weights(self) -> Dict[str, float]:
         """Current LVN table ("Calculate the Link Validation Number for
@@ -169,7 +204,18 @@ class VirtualRoutingAlgorithm:
         return self._compute_weights()
 
     def _compute_weights(self) -> Dict[str, float]:
+        if self._incremental is not None:
+            # Rebase the incremental table on the exact cold result the
+            # cache stores, so later patches start from cached truth.
+            return self._incremental.rebuild()
         return weight_table(self._topology, self._used_of, self._k, self._node_load)
+
+    def _delta_probe(self):
+        """Cache callback: patched (table, deltas), or None to full-flush."""
+        dirty = self._delta_of()
+        if dirty is None:
+            return None
+        return self._incremental.patch(dirty)
 
     def _routing_state(self, home_uid: str) -> "tuple[Dict[str, float], DijkstraResult]":
         """The LVN table and shortest-path tree for one decision.

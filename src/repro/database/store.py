@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Set
 
+from repro.changes import ChangeJournal
 from repro.database.access import AccessLevel, DatabaseHandle
 from repro.database.records import LinkEntry, LinkStats, ServerEntry, TitleInfo
 from repro.errors import DuplicateEntryError, MissingEntryError
@@ -26,6 +27,13 @@ class ServiceDatabase:
         self._titles: Dict[str, TitleInfo] = {}
         self._title_locations: Dict[str, Set[str]] = {}
         self._link_stats_version = 0
+        #: Journal of links whose *routing-visible* reported value moved.
+        #: ``link_stats_version`` bumps on every write (the epoch contract
+        #: of PR 1), but a write that re-reports the same ``used_mbps`` the
+        #: VRA already sees is recorded nowhere — the common steady-SNMP
+        #: round leaves this journal empty, which is what lets the routing
+        #: cache patch instead of flush.
+        self.stats_journal = ChangeJournal()
 
     @property
     def link_stats_version(self) -> int:
@@ -75,6 +83,7 @@ class ServiceDatabase:
             raise DuplicateEntryError(f"link {entry.link_name!r} already registered")
         self._links[entry.link_name] = entry
         self._link_stats_version += 1
+        self.stats_journal.record(entry.link_name)
         return entry
 
     def register_title(self, info: TitleInfo) -> TitleInfo:
@@ -183,9 +192,20 @@ class ServiceDatabase:
     # limited-access mutations
     # ------------------------------------------------------------------ #
     def update_link_stats(self, link_name: str, stats: LinkStats) -> None:
-        """Record the latest SNMP sample for a link."""
-        self.link_entry(link_name).latest_stats = stats
+        """Record the latest SNMP sample for a link.
+
+        Every write bumps :attr:`link_stats_version` (the routing-epoch
+        contract), but the link lands in :attr:`stats_journal` only when
+        the value the VRA actually reads (``used_mbps``) changed — the
+        dirty-set contract (DESIGN.md) is about routing inputs, not about
+        write traffic.
+        """
+        entry = self.link_entry(link_name)
+        changed = stats.used_mbps != entry.used_mbps
+        entry.latest_stats = stats
         self._link_stats_version += 1
+        if changed:
+            self.stats_journal.record(link_name)
 
     def update_server_config(self, server_uid: str, **attributes: object) -> None:
         """Update configuration attributes on a server entry.

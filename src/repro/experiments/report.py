@@ -110,7 +110,12 @@ def render_routing_cache(stats: Optional[RoutingCacheStats], title: str = "") ->
     table = render_table(headers, rows, title=caption)
     return (
         f"{table}\n"
-        f"invalidations (epoch changes): {stats.invalidations}; "
+        f"invalidations (epoch changes): {stats.invalidations} "
+        f"({stats.full_invalidations} full flush(es), "
+        f"{stats.partial_invalidations} delta patch(es) over "
+        f"{stats.dirty_links} dirty link(s)); "
+        f"trees repaired in place: {stats.trees_repaired}, "
+        f"rerooted: {stats.trees_rerooted}; "
         f"LRU evictions: {stats.evictions}"
     )
 

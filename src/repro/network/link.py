@@ -69,8 +69,9 @@ class Link:
     _reserve_count: int = field(default=0, repr=False, compare=False)
     _peak_reserved_mbps: float = field(default=0.0, repr=False, compare=False)
     #: Set by :meth:`Topology.add_link` so the owning topology can expose a
-    #: combined version without scanning every link per lookup.
-    _version_listener: Optional[Callable[[str], None]] = field(
+    #: combined version — and a per-link dirty journal — without scanning
+    #: every link per lookup.  Called with ``(kind, link)``.
+    _version_listener: Optional[Callable[[str, "Link"], None]] = field(
         default=None, repr=False, compare=False
     )
 
@@ -115,7 +116,7 @@ class Link:
             object.__setattr__(self, "_traffic_version", self.__dict__.get("_traffic_version", 0) + 1)
         listener = self.__dict__.get("_version_listener")
         if listener is not None:
-            listener(kind)
+            listener(kind, self)
 
     # ------------------------------------------------------------------ #
     @property

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Tuple
 
+from repro.changes import ChangeJournal
 from repro.errors import TopologyError
 from repro.network.link import STATE_CHANGE, Link, link_key
 from repro.network.node import Node
@@ -31,6 +32,10 @@ class Topology:
         self._adjacency: Dict[str, List[Link]] = {}
         self._state_version = 0
         self._traffic_version = 0
+        #: Per-link change log backing delta-scoped routing-cache
+        #: invalidation: every version bump also records *which* link
+        #: moved (keyed by link name, kind = state/traffic).
+        self.change_journal = ChangeJournal()
 
     # ------------------------------------------------------------------ #
     # change versioning (feeds the epoch-versioned routing cache)
@@ -47,11 +52,12 @@ class Topology:
         (background traffic writes, flow reservations/releases)."""
         return self._traffic_version
 
-    def _on_link_change(self, kind: str) -> None:
+    def _on_link_change(self, kind: str, link: Link) -> None:
         if kind == STATE_CHANGE:
             self._state_version += 1
         else:
             self._traffic_version += 1
+        self.change_journal.record(link.name, kind)
 
     # ------------------------------------------------------------------ #
     # construction
@@ -94,6 +100,7 @@ class Topology:
         self._adjacency[link.b_uid].append(link)
         link._version_listener = self._on_link_change
         self._state_version += 1
+        self.change_journal.record(link.name, STATE_CHANGE)
         return link
 
     # ------------------------------------------------------------------ #

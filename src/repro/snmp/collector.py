@@ -45,6 +45,9 @@ class NodeStatisticsModule:
         self._agent = SnmpAgent(topology, node_uid, start_time=start_time)
         self._previous: Optional[Tuple[float, Dict[str, Tuple[int, int]]]] = None
         self.samples_written = 0
+        #: Writes whose ``used_mbps`` differed from the entry's previous
+        #: value — the only writes that dirty the routing delta journal.
+        self.changed_samples = 0
 
     @property
     def agent(self) -> SnmpAgent:
@@ -83,6 +86,8 @@ class NodeStatisticsModule:
                     utilization=min(used_mbps / entry.total_bandwidth_mbps, 1.0),
                     timestamp=now,
                 )
+                if used_mbps != entry.used_mbps:
+                    self.changed_samples += 1
                 self._db.update_link_stats(link_name, stats)
                 written[link_name] = stats
                 self.samples_written += 1
@@ -112,6 +117,7 @@ class StatisticsService:
         self._task = PeriodicTask(sim, period_s, self._collect_all, name="snmp")
         self._m_rounds = NULL_COUNTER
         self._m_samples = NULL_COUNTER
+        self._m_changed = NULL_COUNTER
 
     def attach_metrics(self, registry: MetricsRegistry) -> None:
         """Resolve the collection-round / sample counters from a registry."""
@@ -122,6 +128,11 @@ class StatisticsService:
         self._m_samples = registry.counter(
             "snmp.samples_written", subsystem="snmp",
             description="per-link stats entries written to the database",
+        )
+        self._m_changed = registry.counter(
+            "snmp.changed_samples", subsystem="snmp",
+            description="stats writes whose used_mbps differed from the "
+            "previous entry (the ones that dirty the routing delta journal)",
         )
 
     def add_node(self, node_uid: str) -> NodeStatisticsModule:
@@ -155,4 +166,6 @@ class StatisticsService:
         now = self._sim.now
         self._m_rounds.inc()
         for module in self._modules:
+            changed_before = module.changed_samples
             self._m_samples.inc(len(module.collect(now)))
+            self._m_changed.inc(module.changed_samples - changed_before)

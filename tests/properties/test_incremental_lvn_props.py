@@ -1,0 +1,174 @@
+"""Property tests: delta-maintained routing is bit-for-bit cold routing.
+
+The delta path (dirty-link journals -> incremental LVN patch -> lazy tree
+revalidation) is an optimisation with a correctness contract: under ANY
+interleaving of traffic rewrites, link failures/recoveries, and SNMP-style
+database writes (including same-value drumbeat writes), a delta-cached VRA
+must produce exactly the decisions a cache-less VRA computes from scratch —
+same server, same path, same cost, same weight table, and the same
+exceptions when routing is impossible.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.vra import VirtualRoutingAlgorithm
+from repro.database.records import LinkEntry, LinkStats
+from repro.database.store import ServiceDatabase
+from repro.errors import RoutingError
+from repro.network.grnet import GRNET_LINKS, GRNET_NODES, build_grnet_topology
+from repro.network.link import STATE_CHANGE
+
+NODES = sorted(GRNET_NODES)
+LINK_NAMES = [name for name, _, _ in GRNET_LINKS]
+CAPACITY = {name: capacity for name, _, capacity in GRNET_LINKS}
+
+#: One churn op: (link, kind, utilisation).  "traffic" rewrites background
+#: load, "toggle" flips online, "same" rewrites the current value — the
+#: SNMP drumbeat that must journal nothing.
+link_ops = st.lists(
+    st.tuples(
+        st.sampled_from(LINK_NAMES),
+        st.sampled_from(["traffic", "toggle", "same"]),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=5,
+)
+#: A run: churn batches, each followed by one decision from a random home.
+churn_runs = st.lists(
+    st.tuples(link_ops, st.sampled_from(NODES)), min_size=2, max_size=10
+)
+
+
+def apply_ops(topology, ops):
+    for name, kind, u in ops:
+        link = topology.link_named(name)
+        if kind == "traffic":
+            link.set_background_mbps(u * CAPACITY[name])
+        elif kind == "toggle":
+            link.online = not link.online
+        else:
+            link.set_background_mbps(link.used_mbps)
+
+
+def delta_vra(topology, used_of=None, db=None):
+    """A cached VRA wired to journals the way VoDService wires one."""
+    cursors = {
+        "topo": topology.change_journal.head,
+        "stats": db.stats_journal.head if db is not None else 0,
+    }
+
+    def delta_of():
+        if db is None:
+            cursors["topo"], names = topology.change_journal.since(cursors["topo"])
+            return names
+        cursors["topo"], structural = topology.change_journal.since(
+            cursors["topo"], kinds=(STATE_CHANGE,)
+        )
+        cursors["stats"], reported = db.stats_journal.since(cursors["stats"])
+        if structural is None or reported is None:
+            return None
+        return structural | reported
+
+    def epoch_of():
+        if db is None:
+            return ("net", topology.traffic_version, topology.state_version)
+        return ("db", db.link_stats_version, topology.state_version)
+
+    return VirtualRoutingAlgorithm(
+        topology, used_of=used_of, epoch_of=epoch_of, delta_of=delta_of
+    )
+
+
+def decision_fingerprint(vra, home):
+    """Everything observable about one decision, exceptions included."""
+    holders = [uid for uid in NODES if uid != home]
+    try:
+        d = vra.decide(home, "t", holders=holders)
+    except RoutingError as exc:
+        return ("error", str(exc))
+    return (
+        d.chosen_uid,
+        d.path.nodes,
+        d.cost,
+        sorted(d.weights.items()),
+        {uid: (p.nodes, p.cost) for uid, p in d.candidate_paths.items()},
+    )
+
+
+@given(churn_runs)
+@settings(max_examples=60, deadline=None)
+def test_ground_truth_delta_decisions_match_cold(runs):
+    topology = build_grnet_topology()
+    cached = delta_vra(topology)
+    assert cached.delta_maintenance
+    plain = VirtualRoutingAlgorithm(topology)
+    for ops, home in runs:
+        apply_ops(topology, ops)
+        assert decision_fingerprint(cached, home) == decision_fingerprint(plain, home)
+
+
+@given(churn_runs)
+@settings(max_examples=60, deadline=None)
+def test_reported_stats_delta_decisions_match_cold(runs):
+    """The paper-faithful path: the VRA reads SNMP samples from the DB."""
+    topology = build_grnet_topology()
+    db = ServiceDatabase()
+    for link in topology.links():
+        db.register_link(
+            LinkEntry(
+                link_name=link.name,
+                endpoints=link.endpoints,
+                total_bandwidth_mbps=link.capacity_mbps,
+            )
+        )
+
+    def reported(link):
+        return db.link_entry(link.name).used_mbps
+
+    cached = delta_vra(topology, used_of=reported, db=db)
+    assert cached.delta_maintenance
+    plain = VirtualRoutingAlgorithm(topology, used_of=reported)
+    clock = [0.0]
+    for ops, home in runs:
+        apply_ops(topology, ops)
+        # SNMP round: every link reports, changed or not (the drumbeat).
+        clock[0] += 60.0
+        for link in topology.links():
+            db.update_link_stats(
+                link.name,
+                LinkStats(
+                    used_mbps=link.used_mbps,
+                    utilization=min(link.used_mbps / link.capacity_mbps, 1.0),
+                    timestamp=clock[0],
+                ),
+            )
+        assert decision_fingerprint(cached, home) == decision_fingerprint(plain, home)
+    # The drumbeat epochs must have been absorbed as partial invalidations.
+    stats = cached.cache_stats
+    assert stats.full_invalidations == 0
+    assert stats.partial_invalidations > 0
+
+
+def test_dirty_link_disconnecting_cached_tree_source():
+    """Edge case: a delta kills the only path out of a cached tree's root.
+
+    Patra (U2) hangs off Athens and Ioannina; failing both links strands
+    it.  The delta-cached VRA must report the same RoutingError a cold VRA
+    does, and recover identically when a link comes back.
+    """
+    topology = build_grnet_topology()
+    cached = delta_vra(topology)
+    plain = VirtualRoutingAlgorithm(topology)
+
+    assert decision_fingerprint(cached, "U2") == decision_fingerprint(plain, "U2")
+    topology.link_named("Patra-Athens").online = False
+    topology.link_named("Patra-Ioannina").online = False
+    stranded_cached = decision_fingerprint(cached, "U2")
+    assert stranded_cached == decision_fingerprint(plain, "U2")
+    assert stranded_cached[0] == "error"
+    topology.link_named("Patra-Athens").online = True
+    recovered = decision_fingerprint(cached, "U2")
+    assert recovered == decision_fingerprint(plain, "U2")
+    assert recovered[0] != "error"

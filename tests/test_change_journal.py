@@ -1,0 +1,83 @@
+"""Unit tests for the bounded change journal (delta invalidation base)."""
+
+import pytest
+
+from repro.changes import ChangeJournal
+from repro.errors import ReproError
+
+
+class TestChangeJournal:
+    def test_fresh_journal_has_head_zero_and_empty_drain(self):
+        journal = ChangeJournal()
+        assert journal.head == 0
+        head, keys = journal.since(0)
+        assert head == 0
+        assert keys == frozenset()
+
+    def test_records_drain_once_per_cursor(self):
+        journal = ChangeJournal()
+        journal.record("a")
+        journal.record("b")
+        head, keys = journal.since(0)
+        assert keys == {"a", "b"}
+        # Same cursor again: nothing new.
+        head2, keys2 = journal.since(head)
+        assert head2 == head
+        assert keys2 == frozenset()
+
+    def test_multiple_consumers_have_independent_cursors(self):
+        journal = ChangeJournal()
+        journal.record("a")
+        c1, keys1 = journal.since(0)
+        journal.record("b")
+        c2, keys2 = journal.since(c1)
+        _, keys_late = journal.since(0)
+        assert keys1 == {"a"}
+        assert keys2 == {"b"}
+        assert keys_late == {"a", "b"}
+
+    def test_repeat_after_drain_is_not_collapsed(self):
+        # Regression: collapsing an immediate repeat would hide a change
+        # from a consumer whose cursor already passed the earlier record.
+        journal = ChangeJournal()
+        journal.record("x")
+        cursor, keys = journal.since(0)
+        assert keys == {"x"}
+        journal.record("x")  # the same key changes again
+        _, keys2 = journal.since(cursor)
+        assert keys2 == {"x"}
+
+    def test_kinds_filter_returns_only_matching_records(self):
+        journal = ChangeJournal()
+        journal.record("a", kind="state")
+        journal.record("b", kind="traffic")
+        head, keys = journal.since(0, kinds=("state",))
+        assert keys == {"a"}
+        # The cursor still advanced past the filtered-out record.
+        _, keys2 = journal.since(head)
+        assert keys2 == frozenset()
+
+    def test_overflow_returns_none_for_stale_cursor(self):
+        journal = ChangeJournal(capacity=3)
+        for i in range(6):
+            journal.record(f"k{i}")
+        head, keys = journal.since(0)
+        assert keys is None
+        assert head == 6
+        # A cursor at the new head drains cleanly again.
+        journal.record("fresh")
+        _, keys2 = journal.since(head)
+        assert keys2 == {"fresh"}
+
+    def test_cursor_at_oldest_retained_record_still_drains(self):
+        journal = ChangeJournal(capacity=3)
+        for i in range(5):
+            journal.record(f"k{i}")
+        # Records 1-2 dropped; cursor 2 needs records 3..5 — all retained.
+        head, keys = journal.since(2)
+        assert keys == {"k2", "k3", "k4"}
+        assert head == 5
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ReproError):
+            ChangeJournal(capacity=0)
