@@ -7,6 +7,7 @@ Exposes the reproduction's main entry points without writing Python::
     python -m repro lvn --time 4pm             # the LVN weight table
     python -m repro simulate --cache dma ...   # a service-level workload run
     python -m repro obs --format jsonl         # telemetry of an instrumented run
+    python -m repro chaos --seed 7             # seeded fault storm + resilience report
     python -m repro sweep-cluster-size         # the X4 ablation summary
 
 Every subcommand prints plain text to stdout and exits 0 on success; bad
@@ -116,6 +117,40 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--sample-period", type=float, default=60.0,
                      help="simulated seconds between telemetry samples")
     obs.add_argument("--seed", type=int, default=23)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run a seeded fault storm on GRNET and print the resilience report",
+    )
+    chaos.add_argument("--seed", type=int, default=42,
+                       help="master seed for workload and fault schedule")
+    chaos.add_argument("--duration-hours", type=float, default=4.0,
+                       help="fault/workload horizon in simulated hours")
+    chaos.add_argument("--requests-per-node", type=int, default=30)
+    chaos.add_argument("--link-flap-rate", type=float, default=2.0,
+                       metavar="PER_H", help="link failures per hour")
+    chaos.add_argument("--link-degrade-rate", type=float, default=2.0,
+                       metavar="PER_H", help="bandwidth shortages per hour")
+    chaos.add_argument("--server-crash-rate", type=float, default=1.0,
+                       metavar="PER_H", help="server crashes per hour")
+    chaos.add_argument("--disk-failure-rate", type=float, default=0.5,
+                       metavar="PER_H", help="disk failures per hour")
+    chaos.add_argument("--snmp-blackout-rate", type=float, default=0.5,
+                       metavar="PER_H", help="collector blackouts per hour")
+    chaos.add_argument("--mean-fault-duration", type=float, default=300.0,
+                       metavar="S", help="mean fault window length (s)")
+    chaos.add_argument("--retry-attempts", type=int, default=5,
+                       help="session retry budget per cluster boundary")
+    chaos.add_argument("--retry-backoff", type=float, default=20.0,
+                       metavar="S", help="first retry delay (s)")
+    chaos.add_argument("--min-availability", type=float, default=None,
+                       metavar="FRACTION",
+                       help="exit 1 if completed/finished sessions falls "
+                            "below this floor (CI smoke gate)")
+    chaos.add_argument("--json", action="store_true",
+                       help="print the report as JSON instead of text")
+    chaos.add_argument("--show-faults", action="store_true",
+                       help="also print the chronological fault log")
 
     sweep = commands.add_parser(
         "sweep-cluster-size",
@@ -325,6 +360,52 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.resilience import (
+        render_resilience_report,
+        run_resilience_experiment,
+    )
+
+    run = run_resilience_experiment(
+        seed=args.seed,
+        duration_s=args.duration_hours * 3600.0,
+        requests_per_node=args.requests_per_node,
+        link_flap_rate_per_h=args.link_flap_rate,
+        link_degrade_rate_per_h=args.link_degrade_rate,
+        server_crash_rate_per_h=args.server_crash_rate,
+        disk_failure_rate_per_h=args.disk_failure_rate,
+        snmp_blackout_rate_per_h=args.snmp_blackout_rate,
+        mean_fault_duration_s=args.mean_fault_duration,
+        retry_attempts=args.retry_attempts,
+        retry_backoff_s=args.retry_backoff,
+    )
+    report = run.report
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_resilience_report(report))
+    if args.show_faults:
+        print()
+        for entry in run.injector.log:
+            print(
+                f"{entry['at_s']:10.1f} s  {entry['action']:<7} "
+                f"{entry['kind']:<14} {entry['target']}"
+            )
+    if (
+        args.min_availability is not None
+        and report.availability < args.min_availability
+    ):
+        print(
+            f"availability {report.availability:.2%} below floor "
+            f"{args.min_availability:.2%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_export_grnet(path: str, time_label: Optional[str]) -> int:
     from repro.io import save_topology
     from repro.network.grnet import apply_traffic_sample, build_grnet_topology
@@ -381,6 +462,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_simulate(args)
         if args.command == "obs":
             return _cmd_obs(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         if args.command == "sweep-cluster-size":
             return _cmd_sweep_cluster_size(args.jobs)
         if args.command == "export-grnet":

@@ -31,14 +31,22 @@ from repro.core.lvn import DEFAULT_NORMALIZATION_CONSTANT
 from repro.core.session import (
     DEFAULT_LOCAL_READ_MBPS,
     DEFAULT_RATE_UPDATE_PERIOD_S,
+    NO_RETRY,
     ClusterRecord,
+    RetryPolicy,
     SessionRecord,
     StreamingSession,
 )
 from repro.core.vra import VirtualRoutingAlgorithm, VraDecision
 from repro.database.records import LinkEntry, ServerEntry
 from repro.database.store import ServiceDatabase
-from repro.errors import ReproError, ServiceError
+from repro.errors import (
+    NoReachableHolderError,
+    ReproError,
+    RoutingError,
+    ServiceError,
+    TitleUnavailableError,
+)
 from repro.network.flows import FlowManager
 from repro.network.link import STATE_CHANGE, Link
 from repro.network.node import Node
@@ -48,10 +56,37 @@ from repro.obs.sampler import DEFAULT_SERIES_CAPACITY, TelemetrySampler
 from repro.obs.spans import SessionSpan
 from repro.server.video_server import VideoServer
 from repro.sim.engine import Simulator
-from repro.sim.process import Process
+from repro.sim.process import Delay, Process
 from repro.sim.trace import Tracer
 from repro.snmp.collector import DEFAULT_POLL_PERIOD_S, StatisticsService
 from repro.storage.video import VideoTitle
+
+#: ``DecideOutcome.outcome`` values.
+DECIDE_OK = "ok"
+NO_HOLDER = "no-holder"
+NO_REACHABLE_HOLDER = "no-reachable-holder"
+NO_AVAILABLE_HOLDER = "no-available-holder"
+
+
+@dataclass(frozen=True)
+class DecideOutcome:
+    """Explicit result of a degradable VRA decision (:meth:`VoDService.try_decide`).
+
+    Instead of an exception, an impossible decision comes back as an
+    outcome string — ``no-holder`` (title nowhere), ``no-reachable-holder``
+    (the home server is partitioned from every holder), or
+    ``no-available-holder`` (every holder polled out: crashed, at stream
+    capacity, or disk-failed).  ``decision`` is set only for ``ok``.
+    """
+
+    outcome: str
+    decision: Optional[VraDecision] = None
+    reason: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when a decision was produced."""
+        return self.outcome == DECIDE_OK
 
 
 @dataclass
@@ -108,6 +143,22 @@ class ServiceConfig:
             ``benchmarks/test_bench_incremental_lvn.py`` drumbeat
             scenarios measure.  Off restores PR 1's flush-per-epoch
             behaviour exactly.
+        retry_attempts: Cluster-boundary retry budget per cluster.  When a
+            per-cluster VRA run finds no source (all holders crashed,
+            partitioned, or polled out), the session backs off and retries
+            up to this many times instead of failing instantly.  ``0``
+            (default) is the paper's fail-fast behaviour, byte-identical
+            to pre-retry runs.
+        retry_backoff_s: First retry delay in simulated seconds.
+        retry_backoff_multiplier: Exponential backoff growth factor.
+        retry_max_backoff_s: Ceiling on any single retry delay.
+        requeue_attempts: Strict-QoS admission re-queue budget.  Under
+            ``strict_qos_admission``, a rejected request waits
+            ``requeue_delay_s`` and re-attempts admission up to this many
+            times before failing — crash-recovery storms then shed load
+            by delaying rather than dropping.  ``0`` (default) keeps the
+            reject-immediately behaviour.
+        requeue_delay_s: Simulated wait between admission re-attempts.
         observability: Enable the unified telemetry layer: a live
             metrics registry (per-link utilisation, cache occupancy,
             stream load, VRA decision counters/latency, sim-engine
@@ -137,6 +188,12 @@ class ServiceConfig:
     vra_trace: bool = False
     routing_cache_size: int = 128
     routing_delta_updates: bool = True
+    retry_attempts: int = 0
+    retry_backoff_s: float = 30.0
+    retry_backoff_multiplier: float = 2.0
+    retry_max_backoff_s: float = 300.0
+    requeue_attempts: int = 0
+    requeue_delay_s: float = 60.0
     observability: bool = False
     telemetry_period_s: float = 60.0
     telemetry_capacity: int = DEFAULT_SERIES_CAPACITY
@@ -145,6 +202,18 @@ class ServiceConfig:
     #: {disk_count, disk_capacity_mb, max_streams}.  Unlisted nodes use
     #: the uniform values above.
     server_overrides: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def retry_policy(self) -> RetryPolicy:
+        """The session retry policy these knobs describe (shared NO_RETRY
+        singleton when disabled, so the default path allocates nothing)."""
+        if self.retry_attempts <= 0:
+            return NO_RETRY
+        return RetryPolicy(
+            attempts=self.retry_attempts,
+            backoff_s=self.retry_backoff_s,
+            multiplier=self.retry_backoff_multiplier,
+            max_backoff_s=self.retry_max_backoff_s,
+        )
 
 
 def _points_table_size(server: VideoServer) -> float:
@@ -270,6 +339,8 @@ class VoDService:
             capacity=self.config.telemetry_capacity,
         )
         self._started = False
+        #: Resolved once: every session shares the same policy object.
+        self._retry_policy = self.config.retry_policy()
         #: Optional per-session wrapper around the decide function, used by
         #: the switching baselines (e.g. ``NeverSwitch``): called once per
         #: session with the fresh decide closure, returns the one to use.
@@ -308,6 +379,29 @@ class VoDService:
         self._m_decision_latency = obs.histogram(
             "vra.decision_latency_ms", subsystem="core",
             description="wall-clock latency of one VRA decision (ms)",
+        )
+        self._m_retries = obs.counter(
+            "resilience.retries", subsystem="core",
+            description="cluster-boundary VRA retries taken by sessions",
+        )
+        self._m_recoveries = obs.counter(
+            "resilience.sessions_recovered", subsystem="core",
+            description="sessions that lost every source and found one "
+            "again via retry/backoff",
+        )
+        self._m_recovery_s = obs.histogram(
+            "resilience.recovery_s", subsystem="core",
+            description="simulated time a cluster boundary stayed blocked "
+            "before a retry succeeded (s)",
+        )
+        self._m_requeues = obs.counter(
+            "resilience.requeues", subsystem="service",
+            description="strict-QoS admission rejections re-queued "
+            "instead of dropped",
+        )
+        self._m_degraded = obs.counter(
+            "resilience.degraded_decisions", subsystem="core",
+            description="try_decide calls that returned a non-ok outcome",
         )
         self._m_startup = obs.histogram(
             "session.startup_s", subsystem="core",
@@ -599,6 +693,36 @@ class VoDService:
         )
         return decision
 
+    def try_decide(self, home_uid: str, title_id: str) -> DecideOutcome:
+        """One VRA decision that degrades to an explicit outcome.
+
+        Where :meth:`decide` raises, this returns a :class:`DecideOutcome`
+        naming what is wrong — ``no-holder``, ``no-reachable-holder``
+        (home server partitioned from every holder), or
+        ``no-available-holder`` (every holder polled out).  Resilience
+        tooling and operators poll this instead of catching exceptions;
+        non-ok outcomes land on the ``resilience.degraded_decisions``
+        counter and in the trace.
+        """
+        try:
+            return DecideOutcome(DECIDE_OK, decision=self.decide(home_uid, title_id))
+        except TitleUnavailableError as exc:
+            outcome, reason = NO_HOLDER, str(exc)
+        except NoReachableHolderError as exc:
+            outcome, reason = NO_REACHABLE_HOLDER, str(exc)
+        except RoutingError as exc:
+            outcome, reason = NO_AVAILABLE_HOLDER, str(exc)
+        self._m_degraded.inc()
+        self.tracer.record(
+            self.sim.now,
+            "vra.degraded",
+            f"{title_id} at {home_uid}: {outcome}",
+            home_uid=home_uid,
+            title_id=title_id,
+            outcome=outcome,
+        )
+        return DecideOutcome(outcome, reason=reason)
+
     # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
@@ -755,8 +879,27 @@ class VoDService:
         if self.config.strict_qos_admission and not self._qos_admissible(
             home_uid, title_id, video
         ):
+            if self.config.requeue_attempts > 0:
+                return self._requeue_request(request, video, home_server, dma_stored, span)
             return self._block_request(request, video, home_server, dma_stored, span)
 
+        session = self._build_session(request, video, home_server, dma_stored, span)
+        self.sessions.append(session.record)
+        process = Process(
+            self.sim, session.run(), name=f"session:{client_id}:{title_id}"
+        )
+        return request, session, process
+
+    def _build_session(
+        self,
+        request: VideoRequest,
+        video: VideoTitle,
+        home_server: VideoServer,
+        dma_stored: bool,
+        span: Optional[SessionSpan],
+    ) -> StreamingSession:
+        """The fully wired streaming session for an admitted request."""
+        home_uid, title_id = request.home_uid, request.title_id
         decide = lambda: self.decide(home_uid, title_id)  # noqa: E731
         if self.decide_wrapper is not None:
             decide = self.decide_wrapper(decide)
@@ -765,7 +908,7 @@ class VoDService:
             # the session actually uses (e.g. NeverSwitch's frozen one).
             decide = self._span_decide(decide, span)
 
-        session = StreamingSession(
+        return StreamingSession(
             sim=self.sim,
             request=request,
             video=video,
@@ -775,16 +918,23 @@ class VoDService:
             servers=self.servers,
             local_read_mbps=self.config.local_read_mbps,
             rate_update_period_s=self.config.rate_update_period_s,
+            retry=self._retry_policy,
             on_finish=lambda record: self._on_session_finish(
                 record, home_server, dma_stored, span
             ),
             on_cluster=self._cluster_hook(span) if self._obs_enabled else None,
+            on_retry=self._note_retry,
+            on_recover=self._note_recovery,
         )
-        self.sessions.append(session.record)
-        process = Process(
-            self.sim, session.run(), name=f"session:{client_id}:{title_id}"
-        )
-        return request, session, process
+
+    def _note_retry(self, wait_s: float) -> None:
+        """Session callback: one cluster-boundary retry was taken."""
+        self._m_retries.inc()
+
+    def _note_recovery(self, outage_s: float) -> None:
+        """Session callback: a blocked cluster boundary found a source."""
+        self._m_recoveries.inc()
+        self._m_recovery_s.observe(outage_s)
 
     def _span_decide(
         self, decide: Callable[[], VraDecision], span: SessionSpan
@@ -855,15 +1005,16 @@ class VoDService:
             for path in paths.values()
         )
 
-    def _block_request(
+    def _fail_blocked(
         self,
         request: VideoRequest,
         video: VideoTitle,
         home_server: VideoServer,
         dma_stored: bool,
-        span: Optional[SessionSpan] = None,
-    ) -> Tuple[VideoRequest, StreamingSession, Process]:
-        """Reject a request at admission time (strict-QoS extension)."""
+        span: Optional[SessionSpan],
+    ) -> None:
+        """Terminal admission-rejection bookkeeping (shared by the
+        reject-immediately and requeue-exhausted paths)."""
         request.mark_failed(
             "qos-blocked: no candidate path can sustain "
             f"{video.bitrate_mbps:.2f} Mbps"
@@ -882,6 +1033,63 @@ class VoDService:
         )
         if dma_stored:
             home_server.abort_download(request.title_id)
+
+    def _requeue_request(
+        self,
+        request: VideoRequest,
+        video: VideoTitle,
+        home_server: VideoServer,
+        dma_stored: bool,
+        span: Optional[SessionSpan] = None,
+    ) -> Tuple[VideoRequest, StreamingSession, Process]:
+        """Hold a strict-QoS-rejected request and re-attempt admission.
+
+        Instead of dropping the request, it waits ``requeue_delay_s`` and
+        re-checks admissibility up to ``requeue_attempts`` times (the
+        crash-recovery-storm path: holders flapping back online usually
+        re-admit the request on an early attempt).  Only after the budget
+        is exhausted does the request fail with the ``qos-blocked`` reason.
+        """
+        session = self._build_session(request, video, home_server, dma_stored, span)
+        self.sessions.append(session.record)
+        attempts = self.config.requeue_attempts
+        delay = self.config.requeue_delay_s
+
+        def queued():
+            for attempt in range(1, attempts + 1):
+                self._m_requeues.inc()
+                self.tracer.record(
+                    self.sim.now,
+                    "request.requeued",
+                    f"{request.client_id} at {request.home_uid}: "
+                    f"{request.title_id} re-queued ({attempt}/{attempts})",
+                    client_id=request.client_id,
+                    home_uid=request.home_uid,
+                    title_id=request.title_id,
+                    attempt=attempt,
+                )
+                if span is not None:
+                    span.add(self.sim.now, "requeued", attempt=attempt, delay_s=delay)
+                yield Delay(delay)
+                if self._qos_admissible(request.home_uid, request.title_id, video):
+                    result = yield from session.run()
+                    return result
+            self._fail_blocked(request, video, home_server, dma_stored, span)
+            return session.record
+
+        process = Process(self.sim, queued(), name=f"requeued:{request.request_id}")
+        return request, session, process
+
+    def _block_request(
+        self,
+        request: VideoRequest,
+        video: VideoTitle,
+        home_server: VideoServer,
+        dma_stored: bool,
+        span: Optional[SessionSpan] = None,
+    ) -> Tuple[VideoRequest, StreamingSession, Process]:
+        """Reject a request at admission time (strict-QoS extension)."""
+        self._fail_blocked(request, video, home_server, dma_stored, span)
         session = StreamingSession(
             sim=self.sim,
             request=request,

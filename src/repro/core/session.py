@@ -20,7 +20,7 @@ from typing import Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.client.requests import VideoRequest
 from repro.core.vra import VraDecision
-from repro.errors import LinkCapacityError, ReproError
+from repro.errors import LinkCapacityError, ReproError, RoutingError
 from repro.network.flows import FlowManager
 from repro.server.video_server import VideoServer
 from repro.sim.engine import Simulator
@@ -43,6 +43,55 @@ MIN_TRANSFER_MBPS = 0.05
 DEFAULT_RATE_UPDATE_PERIOD_S = 60.0
 
 DecideFn = Callable[[], VraDecision]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for cluster-boundary VRA failures.
+
+    When a per-cluster decision raises a :class:`RoutingError` (every
+    holder crashed, the home server is partitioned, admission slots are
+    exhausted network-wide), the session waits ``backoff_s`` of simulated
+    time and retries, doubling up to ``max_backoff_s``, at most
+    ``attempts`` times per cluster.  ``attempts=0`` (the default) restores
+    the fail-fast behaviour exactly — no extra events, no extra decide
+    calls — which is what keeps fault-free runs byte-identical.
+
+    Attributes:
+        attempts: Maximum retries per cluster boundary (0 = disabled).
+        backoff_s: First retry delay in simulated seconds.
+        multiplier: Backoff growth factor between consecutive retries.
+        max_backoff_s: Ceiling on any single retry delay.
+    """
+
+    attempts: int = 0
+    backoff_s: float = 30.0
+    multiplier: float = 2.0
+    max_backoff_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 0:
+            raise ReproError(f"retry attempts must be >= 0, got {self.attempts!r}")
+        if not (self.backoff_s > 0.0):
+            raise ReproError(f"retry backoff must be positive, got {self.backoff_s!r}")
+        if self.multiplier < 1.0:
+            raise ReproError(
+                f"retry multiplier must be >= 1, got {self.multiplier!r}"
+            )
+        if self.max_backoff_s < self.backoff_s:
+            raise ReproError(
+                f"max backoff {self.max_backoff_s!r} below initial "
+                f"backoff {self.backoff_s!r}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when the session should retry at all."""
+        return self.attempts > 0
+
+
+#: Shared disabled policy: the default fail-fast behaviour.
+NO_RETRY = RetryPolicy()
 
 
 @dataclass(frozen=True)
@@ -85,6 +134,10 @@ class SessionRecord:
         switch_count: Number of mid-stream server changes.
         qos_violation_count: Clusters delivered below the playback rate.
         completed_at: Simulated completion time (None if failed/running).
+        retry_count: Cluster-boundary VRA retries taken (retry policy).
+        retry_wait_s: Total simulated time spent in retry backoff.
+        recovered: True when at least one cluster boundary failed and a
+            later retry found a source again (the resilience headline).
     """
 
     request: VideoRequest
@@ -94,6 +147,9 @@ class SessionRecord:
     switch_count: int = 0
     qos_violation_count: int = 0
     completed_at: Optional[float] = None
+    retry_count: int = 0
+    retry_wait_s: float = 0.0
+    recovered: bool = False
 
     @property
     def servers_used(self) -> List[str]:
@@ -125,9 +181,15 @@ class StreamingSession:
         flows: Bandwidth reservation manager for the topology.
         servers: Video servers by node uid (for admission bookkeeping).
         local_read_mbps: Transfer rate for home-server serves.
+        retry: Cluster-boundary retry policy (default: disabled —
+            fail-fast, the paper's behaviour).
         on_finish: Optional callback receiving the final SessionRecord.
         on_cluster: Optional callback receiving each ClusterRecord as it
             is delivered (the observability layer's span hook).
+        on_retry: Optional callback ``(wait_s)`` fired per retry taken
+            (the service's resilience counters).
+        on_recover: Optional callback ``(outage_s)`` fired when a retry
+            succeeds, with the simulated time the boundary was blocked.
     """
 
     def __init__(
@@ -141,8 +203,11 @@ class StreamingSession:
         servers: Dict[str, VideoServer],
         local_read_mbps: float = DEFAULT_LOCAL_READ_MBPS,
         rate_update_period_s: float = DEFAULT_RATE_UPDATE_PERIOD_S,
+        retry: RetryPolicy = NO_RETRY,
         on_finish: Optional[Callable[[SessionRecord], None]] = None,
         on_cluster: Optional[Callable[[ClusterRecord], None]] = None,
+        on_retry: Optional[Callable[[float], None]] = None,
+        on_recover: Optional[Callable[[float], None]] = None,
     ):
         if not (rate_update_period_s > 0.0):
             raise ReproError(
@@ -156,8 +221,11 @@ class StreamingSession:
         self._servers = servers
         self._local_read_mbps = local_read_mbps
         self._rate_quantum_s = rate_update_period_s
+        self._retry = retry
         self._on_finish = on_finish
         self._on_cluster = on_cluster
+        self._on_retry = on_retry
+        self._on_recover = on_recover
         self.record = SessionRecord(request=request)
 
     # ------------------------------------------------------------------ #
@@ -168,7 +236,10 @@ class StreamingSession:
         previous_server: Optional[str] = None
         try:
             for index, size_mb in enumerate(self._cluster_sizes):
-                decision = self._decide()
+                if self._retry.enabled:
+                    decision = yield from self._decide_with_retry()
+                else:
+                    decision = self._decide()
                 server_uid = decision.chosen_uid
                 switched = previous_server is not None and server_uid != previous_server
                 if switched:
@@ -184,6 +255,42 @@ class StreamingSession:
         self._compute_playback_metrics()
         self._finish()
         return self.record
+
+    def _decide_with_retry(self) -> Generator[Delay, None, VraDecision]:
+        """One cluster-boundary decision under the retry policy.
+
+        Transient routing failures — every holder crashed or polled out,
+        the home server partitioned from all of them — are retried with
+        exponential backoff instead of failing the session outright.
+        Non-routing errors propagate immediately; exhausting the budget
+        re-raises the last routing error (the session then fails exactly
+        as it would have fail-fast, just later).
+        """
+        policy = self._retry
+        backoff = policy.backoff_s
+        blocked_since: Optional[float] = None
+        tries = 0
+        while True:
+            try:
+                decision = self._decide()
+            except RoutingError as exc:
+                if tries >= policy.attempts:
+                    raise
+                if blocked_since is None:
+                    blocked_since = self._sim.now
+                tries += 1
+                self.record.retry_count += 1
+                self.record.retry_wait_s += backoff
+                if self._on_retry is not None:
+                    self._on_retry(backoff)
+                yield Delay(backoff)
+                backoff = min(backoff * policy.multiplier, policy.max_backoff_s)
+                continue
+            if blocked_since is not None:
+                self.record.recovered = True
+                if self._on_recover is not None:
+                    self._on_recover(self._sim.now - blocked_since)
+            return decision
 
     # ------------------------------------------------------------------ #
     def _transfer_cluster(

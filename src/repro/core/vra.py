@@ -27,7 +27,12 @@ from repro.core.lvn import (
     weight_table,
 )
 from repro.core.lvn_delta import IncrementalLvnTable
-from repro.errors import ReproError, RoutingError, TitleUnavailableError
+from repro.errors import (
+    NoReachableHolderError,
+    ReproError,
+    RoutingError,
+    TitleUnavailableError,
+)
 from repro.network.routing.cache import (
     DEFAULT_TREE_CAPACITY,
     RoutingCache,
@@ -269,7 +274,9 @@ class VirtualRoutingAlgorithm:
 
         Raises:
             TitleUnavailableError: If no server holds the title.
-            RoutingError: If every holder polled out or none is reachable.
+            RoutingError: If every holder polled out.
+            NoReachableHolderError: If holders are available but the home
+                server is partitioned from all of them.
         """
         self.decision_count += 1
         self._m_decisions.inc()
@@ -318,7 +325,10 @@ class VirtualRoutingAlgorithm:
             if result.reaches(uid):
                 candidate_paths[uid] = result.path(uid)
         if not candidate_paths:
-            raise RoutingError(
+            # The partition case: holders answered the poll but every path
+            # from the home server is severed.  A distinct subclass so the
+            # session retry loop / try_decide can treat it as transient.
+            raise NoReachableHolderError(
                 f"title {title_id!r}: no candidate server {available} is "
                 f"reachable from home server {home_uid!r}"
             )

@@ -71,6 +71,21 @@ class TitleUnavailableError(RoutingError):
     """Raised when no server in the network holds the requested title."""
 
 
+class NoReachableHolderError(RoutingError):
+    """Raised when holders exist but none is reachable from the home server.
+
+    The partition case of the VRA: servers answered the availability poll,
+    yet every least-cost path from the home server is severed (link
+    failures).  Distinguished from the generic :class:`RoutingError` so
+    resilience-aware callers (session retry/backoff,
+    ``VoDService.try_decide``) can treat it as a transient condition.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """Raised for invalid fault schedules or injector misuse."""
+
+
 class ServiceError(ReproError):
     """Raised for VoD-service level failures (bad initialisation etc.)."""
 

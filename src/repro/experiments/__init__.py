@@ -5,7 +5,10 @@
 * :mod:`repro.experiments.harness` — service-level experiment runner used
   by the comparison/ablation benchmarks (X1-X4 in DESIGN.md);
 * :mod:`repro.experiments.report` — ASCII table rendering in the paper's
-  layouts.
+  layouts;
+* :mod:`repro.experiments.resilience` — seeded fault-storm (chaos) runs
+  with retry/backoff enabled, reduced to a deterministic
+  :class:`ResilienceReport`.
 """
 
 from repro.experiments.casestudy import (
@@ -19,6 +22,12 @@ from repro.experiments.casestudy import (
     table3_deltas,
 )
 from repro.experiments.harness import ServiceExperiment, SweepResult, run_service_experiment
+from repro.experiments.resilience import (
+    ResilienceReport,
+    ResilienceRun,
+    render_resilience_report,
+    run_resilience_experiment,
+)
 from repro.experiments.report import (
     render_dijkstra_trace,
     render_experiment,
@@ -31,16 +40,20 @@ __all__ = [
     "EXPERIMENTS",
     "ExperimentOutcome",
     "ExperimentSpec",
+    "ResilienceReport",
+    "ResilienceRun",
     "ServiceExperiment",
     "SweepResult",
     "compute_table2_utilization_percent",
     "compute_table3_lvn",
     "render_dijkstra_trace",
     "render_experiment",
+    "render_resilience_report",
     "render_table",
     "render_table2",
     "render_table3",
     "run_experiment",
+    "run_resilience_experiment",
     "run_service_experiment",
     "table2_deltas",
     "table3_deltas",

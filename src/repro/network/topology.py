@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Tuple
 
-from repro.changes import ChangeJournal
+from repro.changes import DEFAULT_JOURNAL_CAPACITY, ChangeJournal
 from repro.errors import TopologyError
 from repro.network.link import STATE_CHANGE, Link, link_key
 from repro.network.node import Node
@@ -24,7 +24,11 @@ class Topology:
     :class:`~repro.errors.TopologyError`.
     """
 
-    def __init__(self, name: str = "network"):
+    def __init__(
+        self,
+        name: str = "network",
+        journal_capacity: int = DEFAULT_JOURNAL_CAPACITY,
+    ):
         self.name = name
         self._nodes: Dict[str, Node] = {}
         self._links: Dict[Tuple[str, str], Link] = {}
@@ -34,8 +38,10 @@ class Topology:
         self._traffic_version = 0
         #: Per-link change log backing delta-scoped routing-cache
         #: invalidation: every version bump also records *which* link
-        #: moved (keyed by link name, kind = state/traffic).
-        self.change_journal = ChangeJournal()
+        #: moved (keyed by link name, kind = state/traffic).  A fault
+        #: storm larger than ``journal_capacity`` overflows the journal,
+        #: which delta consumers must answer with a full recompute.
+        self.change_journal = ChangeJournal(capacity=journal_capacity)
 
     # ------------------------------------------------------------------ #
     # change versioning (feeds the epoch-versioned routing cache)

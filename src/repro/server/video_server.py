@@ -9,7 +9,7 @@ in sync through the DMA's store/evict callbacks, so the VRA's
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import Callable, List, Optional, Set
 
 from repro.core.dma import DiskManipulationAlgorithm, DmaResult
 from repro.database.records import TitleInfo
@@ -59,7 +59,15 @@ class VideoServer:
             on_evict=self._withdraw,
             evict_until_fits=evict_until_fits,
         )
-        self.online = True
+        self._online = True
+        #: Monotonic counter of online/offline transitions.  Value-aware:
+        #: re-assigning the current value bumps nothing (mirrors the
+        #: link/SNMP value-aware write contracts), so crash-recovery
+        #: storms that re-kill a dead server are free.
+        self._state_version = 0
+        #: Optional ``listener(server)`` invoked on each actual
+        #: online/offline transition (the fault injector's crash hook).
+        self.on_state_change: Optional[Callable[["VideoServer"], None]] = None
         self.serve_count = 0
         # A title the DMA stores during a request is only *bytes in flight*
         # until that request's own download completes; deferral keeps it out
@@ -107,6 +115,29 @@ class VideoServer:
             )
 
     # ------------------------------------------------------------------ #
+    # operational state
+    # ------------------------------------------------------------------ #
+    @property
+    def online(self) -> bool:
+        """Administrative/operational state; False while crashed."""
+        return self._online
+
+    @online.setter
+    def online(self, value: bool) -> None:
+        value = bool(value)
+        if value == self._online:
+            return
+        self._online = value
+        self._state_version += 1
+        if self.on_state_change is not None:
+            self.on_state_change(self)
+
+    @property
+    def state_version(self) -> int:
+        """Counter of online/offline transitions on this server."""
+        return self._state_version
+
+    # ------------------------------------------------------------------ #
     # cache-policy plumbing
     # ------------------------------------------------------------------ #
     def set_cache_policy(self, factory) -> None:
@@ -145,9 +176,10 @@ class VideoServer:
 
     def has_title(self, title_id: str) -> bool:
         """True if the full title is resident and servable (a DMA store
-        whose download is still in flight does not count)."""
+        whose download is still in flight, or a title with clusters on a
+        failed disk, does not count)."""
         return (
-            self.array.has_video(title_id)
+            self.array.is_servable(title_id)
             and title_id not in self._pending_advertisements
         )
 

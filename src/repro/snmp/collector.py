@@ -115,9 +115,15 @@ class StatisticsService:
             for node in topology.nodes()
         ]
         self._task = PeriodicTask(sim, period_s, self._collect_all, name="snmp")
+        #: Nesting depth of active blackouts (overlapping fault windows
+        #: stack); collection rounds are skipped whole while > 0.
+        self._blackout_depth = 0
+        #: Collection rounds skipped because a blackout was active.
+        self.blackout_skips = 0
         self._m_rounds = NULL_COUNTER
         self._m_samples = NULL_COUNTER
         self._m_changed = NULL_COUNTER
+        self._m_blackout_skips = NULL_COUNTER
 
     def attach_metrics(self, registry: MetricsRegistry) -> None:
         """Resolve the collection-round / sample counters from a registry."""
@@ -133,6 +139,11 @@ class StatisticsService:
             "snmp.changed_samples", subsystem="snmp",
             description="stats writes whose used_mbps differed from the "
             "previous entry (the ones that dirty the routing delta journal)",
+        )
+        self._m_blackout_skips = registry.counter(
+            "fault.snmp_blackout_skips", subsystem="snmp",
+            description="collection rounds skipped by an injected blackout "
+            "(the database serves stale stats meanwhile)",
         )
 
     def add_node(self, node_uid: str) -> NodeStatisticsModule:
@@ -162,7 +173,35 @@ class StatisticsService:
         """Stop periodic collection."""
         self._task.stop()
 
+    # ------------------------------------------------------------------ #
+    # blackout (fault-injection surface)
+    # ------------------------------------------------------------------ #
+    @property
+    def blacked_out(self) -> bool:
+        """True while at least one injected blackout window is active."""
+        return self._blackout_depth > 0
+
+    def blackout(self) -> None:
+        """Enter a collector blackout: rounds are skipped whole, agents
+        are not even polled, and the limited-access database keeps
+        serving its last-written (stale) stats.  Windows nest."""
+        self._blackout_depth += 1
+
+    def restore(self) -> None:
+        """Leave one blackout window; collection resumes at depth zero.
+
+        The first round after restoration spans the whole dark period
+        (counter deltas average over it), exactly like a real poller
+        recovering from an outage.
+        """
+        if self._blackout_depth > 0:
+            self._blackout_depth -= 1
+
     def _collect_all(self) -> None:
+        if self._blackout_depth > 0:
+            self.blackout_skips += 1
+            self._m_blackout_skips.inc()
+            return
         now = self._sim.now
         self._m_rounds.inc()
         for module in self._modules:

@@ -9,7 +9,7 @@ check relies on.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Set
 
 from repro.errors import StorageError, StripingError
 from repro.storage.disk import Disk, StoredCluster
@@ -31,6 +31,7 @@ class DiskArray:
         self._disks = [Disk(i, disk_capacity_mb) for i in range(disk_count)]
         self._videos: Dict[str, VideoTitle] = {}
         self._layouts: Dict[str, StripingLayout] = {}
+        self._failed_disks: Set[int] = set()
 
     # ------------------------------------------------------------------ #
     # capacity
@@ -69,6 +70,54 @@ class DiskArray:
         return list(self._disks)
 
     # ------------------------------------------------------------------ #
+    # disk failures (fault-injection surface)
+    # ------------------------------------------------------------------ #
+    @property
+    def failed_disk_indices(self) -> List[int]:
+        """Indices of currently failed disks, sorted."""
+        return sorted(self._failed_disks)
+
+    def fail_disk(self, index: int) -> None:
+        """Mark one disk failed.
+
+        Cyclic striping spreads every multi-cluster video over all disks,
+        so a failed disk typically makes most resident titles unservable
+        (:meth:`is_servable`) until :meth:`restore_disk`.  The clusters
+        themselves are kept — the model treats recovery as a disk swap
+        plus resync, after which the title serves again.  Idempotent.
+
+        Raises:
+            StorageError: If the index is out of range.
+        """
+        self.disk(index)  # range check
+        self._failed_disks.add(index)
+
+    def restore_disk(self, index: int) -> None:
+        """Bring a failed disk back into service.  Idempotent.
+
+        Raises:
+            StorageError: If the index is out of range.
+        """
+        self.disk(index)  # range check
+        self._failed_disks.discard(index)
+
+    def is_servable(self, title_id: str) -> bool:
+        """True when the video is resident and touches no failed disk.
+
+        A video with any cluster on a failed disk cannot be streamed; one
+        laid out entirely on surviving disks still can.  With no failed
+        disks this is exactly :meth:`has_video`.
+        """
+        if title_id not in self._videos:
+            return False
+        if not self._failed_disks:
+            return True
+        return all(
+            disk_index not in self._failed_disks
+            for _, disk_index, _ in self._layouts[title_id].assignments
+        )
+
+    # ------------------------------------------------------------------ #
     # videos
     # ------------------------------------------------------------------ #
     def layout_for(self, video: VideoTitle) -> StripingLayout:
@@ -84,6 +133,8 @@ class DiskArray:
             return False
         layout = self.layout_for(video)
         for disk_index, needed_mb in layout.per_disk_mb().items():
+            if disk_index in self._failed_disks:
+                return False
             if needed_mb > self._disks[disk_index].free_mb + 1e-9:
                 return False
         return True

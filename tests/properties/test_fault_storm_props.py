@@ -1,0 +1,143 @@
+"""Property tests: fault storms overflowing the change journal are safe.
+
+A fault storm can mutate more links between two VRA decisions than the
+bounded :class:`~repro.changes.ChangeJournal` can hold.  The contract
+under overflow is *degrade, never lie*: ``since()`` returns ``None``, the
+delta probe reports "unknown", and the routing cache falls back to a full
+flush — so a delta-cached VRA still produces exactly the decisions a
+cache-less VRA computes from scratch.  A stale route would mean streaming
+over a link the storm already killed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.vra import VirtualRoutingAlgorithm
+from repro.errors import RoutingError
+from repro.network.link import Link
+from repro.network.node import Node
+from repro.network.topology import Topology
+
+NODES = ("A", "B", "C", "D", "E")
+EDGES = (
+    ("A", "B", 10.0),
+    ("B", "C", 10.0),
+    ("C", "D", 10.0),
+    ("D", "E", 10.0),
+    ("A", "E", 10.0),
+    ("B", "D", 4.0),
+)
+#: Small enough that a modest storm overflows it between decisions.
+JOURNAL_CAPACITY = 4
+
+
+def build_topology(journal_capacity=JOURNAL_CAPACITY):
+    topology = Topology(name="storm", journal_capacity=journal_capacity)
+    for uid in NODES:
+        topology.add_node(Node(uid=uid))
+    for a, b, capacity in EDGES:
+        topology.add_link(Link(a, b, capacity_mbps=capacity))
+    return topology
+
+
+def delta_vra(topology):
+    """A delta-cached VRA wired to the topology journal (ground truth)."""
+    cursor = {"topo": topology.change_journal.head}
+
+    def delta_of():
+        cursor["topo"], names = topology.change_journal.since(cursor["topo"])
+        return names
+
+    return VirtualRoutingAlgorithm(
+        topology,
+        epoch_of=lambda: (topology.traffic_version, topology.state_version),
+        delta_of=delta_of,
+    )
+
+
+def apply_storm(topology, ops):
+    for link_index, kind, level in ops:
+        link = list(topology.links())[link_index % topology.link_count]
+        if kind == "flap":
+            link.online = not link.online
+        else:
+            link.set_background_mbps(level * link.capacity_mbps)
+
+
+def fingerprint(vra, home):
+    holders = [uid for uid in NODES if uid != home]
+    try:
+        d = vra.decide(home, "t", holders=holders)
+    except RoutingError as exc:
+        return ("error", str(exc))
+    return (
+        d.chosen_uid,
+        d.path.nodes,
+        d.cost,
+        sorted(d.weights.items()),
+    )
+
+
+storm_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=len(EDGES) - 1),
+        st.sampled_from(["flap", "traffic"]),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=3 * JOURNAL_CAPACITY,  # routinely overflows the journal
+)
+storm_runs = st.lists(
+    st.tuples(storm_ops, st.sampled_from(NODES)), min_size=2, max_size=8
+)
+
+
+@given(storm_runs)
+@settings(max_examples=60, deadline=None)
+def test_overflowing_storms_never_yield_stale_routes(runs):
+    topology = build_topology()
+    cached = delta_vra(topology)
+    assert cached.delta_maintenance
+    plain = VirtualRoutingAlgorithm(topology)
+    for ops, home in runs:
+        apply_storm(topology, ops)
+        assert fingerprint(cached, home) == fingerprint(plain, home)
+
+
+def test_overflow_degrades_to_full_flush():
+    """Deterministic pin: a storm bigger than the journal forces the full
+    flush (not a partial patch), and the decision still matches cold."""
+    topology = build_topology()
+    cached = delta_vra(topology)
+    plain = VirtualRoutingAlgorithm(topology)
+    assert fingerprint(cached, "A") == fingerprint(plain, "A")  # warm the cache
+
+    link = topology.link_named("B-C")
+    for step in range(JOURNAL_CAPACITY + 1):  # one more than capacity
+        link.set_background_mbps(float(step + 1))
+    assert fingerprint(cached, "A") == fingerprint(plain, "A")
+    stats = cached.cache_stats
+    assert stats.full_invalidations >= 1
+
+    # Below-capacity churn afterwards goes back to the delta path.
+    partial_before = stats.partial_invalidations
+    link.set_background_mbps(0.5)
+    assert fingerprint(cached, "A") == fingerprint(plain, "A")
+    assert cached.cache_stats.partial_invalidations == partial_before + 1
+
+
+def test_storm_killing_every_route_matches_cold_error():
+    """All links down mid-storm: both VRAs must refuse identically, and
+    both must recover identically when one path returns."""
+    topology = build_topology()
+    cached = delta_vra(topology)
+    plain = VirtualRoutingAlgorithm(topology)
+    for link in topology.links():
+        link.online = False
+    down = fingerprint(cached, "A")
+    assert down == fingerprint(plain, "A")
+    assert down[0] == "error"
+    topology.link_named("A-B").online = True
+    up = fingerprint(cached, "A")
+    assert up == fingerprint(plain, "A")
+    assert up[0] != "error"

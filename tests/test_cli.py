@@ -154,6 +154,50 @@ class TestExportGrnet:
             main(["export-grnet", str(tmp_path / "x.json"), "--time", "noon"])
 
 
+class TestChaos:
+    FAST = ["chaos", "--duration-hours", "0.5", "--requests-per-node", "3",
+            "--seed", "11"]
+
+    def test_prints_resilience_report(self, capsys):
+        assert main(self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "resilience report" in out
+        assert "availability" in out
+        assert "seed 11" in out
+
+    def test_json_output_is_valid(self, capsys):
+        import json
+
+        assert main(self.FAST + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["seed"] == 11
+        assert "availability" in payload
+        assert set(payload["faults_injected"]) == {
+            "link-flap", "link-degrade", "server-crash",
+            "disk-failure", "snmp-blackout",
+        }
+
+    def test_show_faults_prints_log(self, capsys):
+        assert main(self.FAST + ["--show-faults"]) == 0
+        out = capsys.readouterr().out
+        assert "inject" in out
+
+    def test_min_availability_floor_gates_exit_code(self, capsys):
+        assert main(self.FAST + ["--min-availability", "0.0"]) == 0
+        assert main(self.FAST + ["--min-availability", "1.01"]) == 1
+        assert "below floor" in capsys.readouterr().err
+
+    def test_replays_identically(self, capsys):
+        assert main(self.FAST + ["--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.FAST + ["--json"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_bad_rate_type_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--link-flap-rate", "often"])
+
+
 class TestObs:
     FAST = ["obs", "--requests-per-node", "2", "--catalog-size", "3",
             "--sample-period", "300"]

@@ -1,0 +1,110 @@
+"""Regression tests for the ``examples/failure_recovery.py`` scenario.
+
+The example prints the three adjustment claims of the paper; these tests
+assert them: mid-stream server failover, route change and restoration
+around a link failure, and serviceability of a node added at runtime.
+"""
+
+from repro.client.requests import RequestStatus
+from repro.core.service import ServiceConfig, VoDService
+from repro.network.grnet import apply_traffic_sample, build_grnet_topology
+from repro.network.link import Link
+from repro.network.node import Node
+from repro.sim.engine import Simulator
+from repro.storage.video import VideoTitle
+
+
+def make_service():
+    sim = Simulator(start_time=8 * 3600.0)
+    topology = build_grnet_topology()
+    apply_traffic_sample(topology, "8am")
+    return VoDService(
+        sim,
+        topology,
+        ServiceConfig(cluster_mb=100.0, use_reported_stats=False),
+    )
+
+
+def feature():
+    return VideoTitle("feature", size_mb=800.0, duration_s=3600.0)
+
+
+def news():
+    return VideoTitle("news", size_mb=200.0, duration_s=1200.0)
+
+
+class TestServerFailover:
+    def test_session_fails_over_to_surviving_replica(self):
+        service = make_service()
+        service.seed_title("U4", feature())
+        service.seed_title("U5", feature())
+        service.start()
+        request, session, _ = service.request_by_home("U2", "feature")
+        sim = service.sim
+
+        def kill_current_source():
+            source = session.record.clusters[-1].server_uid
+            service.servers[source].online = False
+
+        sim.schedule(600.0, kill_current_source)
+        sim.run(until=sim.now + 2 * 3600.0)
+
+        record = session.record
+        assert request.status is RequestStatus.COMPLETED
+        # Both replicas appear in the source list: the one that died and
+        # the survivor the session switched to at a cluster boundary.
+        assert set(record.servers_used) == {"U4", "U5"}
+        assert record.switch_count >= 1
+        assert service.flows.active_count == 0  # no leaked reservations
+
+
+class TestLinkFailureRouting:
+    def test_route_changes_and_restores(self):
+        service = make_service()
+        service.seed_title("U4", news())
+        service.start()
+        link = service.topology.link_named("Patra-Ioannina")
+
+        before = service.decide("U2", "news")
+        link.online = False
+        during = service.decide("U2", "news")
+        link.online = True
+        after = service.decide("U2", "news")
+
+        # The failed link leaves the route while down: no hop in the
+        # detour traverses Patra-Ioannina's endpoints back to back.
+        failed_pair = set(link.endpoints)
+        hops = list(zip(during.path.nodes, during.path.nodes[1:]))
+        assert all(set(hop) != failed_pair for hop in hops)
+        assert during.path.nodes != before.path.nodes
+        # ...and the original route comes back bit-for-bit on repair.
+        assert after.path.nodes == before.path.nodes
+        assert after.cost == before.cost
+        assert after.chosen_uid == before.chosen_uid
+
+
+class TestRuntimeExpansion:
+    def test_new_node_becomes_servable_within_a_poll_period(self):
+        service = make_service()
+        service.seed_title("U4", news())
+        service.start()
+        service.add_server(
+            Node("U7", name="Kalamata"),
+            [Link("U7", "U2", capacity_mbps=4.0, name="Kalamata-Patra")],
+        )
+        service.seed_title("U7", news())
+        sim = service.sim
+        sim.run(until=sim.now + 2 * service.config.snmp_period_s + 1.0)
+
+        # The newcomer is the closest holder for Patra now.
+        decision = service.decide("U2", "news")
+        assert decision.chosen_uid == "U7"
+        assert decision.path.nodes == ("U2", "U7")
+        # SNMP monitors its link within one statistics period.
+        entry = service.database.link_entry("Kalamata-Patra")
+        assert entry.latest_stats is not None
+        assert entry.latest_stats.timestamp > 8 * 3600.0
+        # And a session served from it completes.
+        request, _, _ = service.request_by_home("U2", "news")
+        sim.run(until=sim.now + 3 * 3600.0)
+        assert request.status is RequestStatus.COMPLETED

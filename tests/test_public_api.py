@@ -15,7 +15,9 @@ PACKAGES = [
     "repro.client",
     "repro.core",
     "repro.database",
+    "repro.experiments",
     "repro.extensions",
+    "repro.faults",
     "repro.metrics",
     "repro.network",
     "repro.network.routing",
