@@ -20,13 +20,20 @@ is absorbed as a delta patch (zero full flushes), the cache still
 answers a majority of lookups from memory despite an epoch change on
 every flap, and the delta path's decision rate does not regress badly
 against the flush-per-epoch baseline.
+
+A third service runs the same storm with the whole-decision memo on
+top: it must stay bit-for-bit too, absorb every epoch as a delta, and
+answer at least as many whole decisions warm as the tree layer keeps
+trees valid without repair work (the decision-level floor — see the
+comment in the test for why the blended routing hit rate above is not
+the right baseline).
 """
 
 import time
 
 from repro.core.service import ServiceConfig, VoDService
 from repro.errors import RoutingError
-from repro.experiments.report import render_routing_cache
+from repro.experiments.report import render_decision_cache, render_routing_cache
 from repro.faults import FaultInjector, FaultSchedule
 from repro.network.grnet import apply_traffic_sample, build_grnet_topology
 from repro.sim.engine import Simulator
@@ -42,7 +49,7 @@ MEAN_FLAP_S = 60.0
 STORM_SEED = 23
 
 
-def build_service(delta_on):
+def build_service(delta_on, decision_cache_size=0):
     topology = build_grnet_topology()
     apply_traffic_sample(topology, "8am")
     service = VoDService(
@@ -51,6 +58,7 @@ def build_service(delta_on):
         ServiceConfig(
             routing_cache_size=128,
             routing_delta_updates=delta_on,
+            decision_cache_size=decision_cache_size,
             use_reported_stats=False,
         ),
     )
@@ -96,27 +104,60 @@ def measure():
     assert len(schedule) > 0  # the storm actually storms
     full = build_service(delta_on=False)
     delta = build_service(delta_on=True)
-    for home in HOMES:  # warm both caches before timing
+    memo = build_service(delta_on=True, decision_cache_size=128)
+    for home in HOMES:  # warm all caches before timing
         full.decide(home, "movie")
         delta.decide(home, "movie")
+        memo.decide(home, "movie")
     full_rate, full_decisions = churn_rate(full, schedule)
     delta_rate, delta_decisions = churn_rate(delta, schedule)
+    memo_rate, memo_decisions = churn_rate(memo, schedule)
     assert delta_decisions == full_decisions  # bit-for-bit under the storm
-    return full_rate, delta_rate, delta.vra.cache_stats
+    assert memo_decisions == full_decisions  # ... with the decision memo too
+    return (
+        full_rate,
+        delta_rate,
+        memo_rate,
+        delta.vra.cache_stats,
+        memo.vra.decision_cache_stats,
+    )
 
 
 def test_fault_churn_cache_behaviour(benchmark, show):
-    full_rate, delta_rate, stats = benchmark.pedantic(
+    full_rate, delta_rate, memo_rate, stats, memo_stats = benchmark.pedantic(
         measure, rounds=1, iterations=1
     )
     show(
         f"Fault churn [GRNET, seeded link-flap storm, "
         f"{FLAP_RATE_PER_H:.0f} flaps/h]: {full_rate:,.0f} decisions/s "
         f"full-invalidation vs {delta_rate:,.0f} delta "
-        f"({delta_rate / full_rate:.1f}x), "
-        f"hit rate {stats.hit_rate:.1%}\n"
+        f"({delta_rate / full_rate:.1f}x) vs {memo_rate:,.0f} with the "
+        f"decision memo, routing hit rate {stats.hit_rate:.1%} "
+        f"(tree survival w/o repair "
+        f"{(stats.tree_hits - stats.trees_repaired) / (stats.tree_hits + stats.tree_misses):.1%}), "
+        f"decision hit rate {memo_stats.hit_rate:.1%}\n"
         + render_routing_cache(stats, title="Link-flap churn delta counters")
+        + "\n"
+        + render_decision_cache(
+            memo_stats, title="Link-flap churn decision-memo counters"
+        )
     )
+    # Whole-decision memoization under the same storm.  A flap storm is
+    # the memo's worst case: a decision survives an epoch only if its
+    # shortest-path tree is provably untouched, so its hit rate is
+    # bounded by *tree* survival — the blended routing-cache rate above
+    # it is inflated by LVN weight-table patches that count as hits even
+    # when every tree re-roots.  The apples-to-apples floor is the tree
+    # layer's no-repair survival rate: whenever the tree layer kept a
+    # tree warm without repair work, the memo must have answered the
+    # whole decision warm too (same tree_unaffected proof, and the memo
+    # skips the holder poll and min-cost scan on top).
+    tree_lookups = stats.tree_hits + stats.tree_misses
+    tree_survival = (stats.tree_hits - stats.trees_repaired) / tree_lookups
+    assert memo_stats.hit_rate >= tree_survival
+    assert memo_stats.hit_rate > 0.0
+    assert memo_stats.full_invalidations == 0
+    assert memo_stats.decisions_dropped + memo_stats.decisions_refreshed > 0
     # Every flap is a real epoch change, absorbed as a handful of
     # single-link patches: no full flush, a majority of lookups answered
     # warm.  (On a 7-link graph the patch work costs about as much wall

@@ -101,3 +101,39 @@ class ChangeJournal:
             if kinds is None or kind in kinds:
                 keys.append(key)
         return self._head, frozenset(keys)
+
+
+class JournalCursor:
+    """One consumer's drain position on a :class:`ChangeJournal`.
+
+    Wraps the ``(journal, integer cursor)`` pair every consumer otherwise
+    threads by hand: :meth:`drain` returns the keys recorded since the
+    previous drain (or ``None`` on overflow, exactly as
+    :meth:`ChangeJournal.since`) and advances the position in place.
+
+    Args:
+        journal: The journal to follow.
+        kinds: Optional record-kind filter applied to every drain.
+        from_head: Start at the journal's current head (skip history);
+            False starts at sequence 0 and replays everything.
+    """
+
+    def __init__(
+        self,
+        journal: ChangeJournal,
+        kinds: Optional[Tuple[str, ...]] = None,
+        from_head: bool = True,
+    ):
+        self._journal = journal
+        self._kinds = kinds
+        self._cursor = journal.head if from_head else 0
+
+    @property
+    def position(self) -> int:
+        """The sequence number of the last record incorporated."""
+        return self._cursor
+
+    def drain(self) -> Optional[FrozenSet[str]]:
+        """Keys changed since the last drain; ``None`` means overflow."""
+        self._cursor, keys = self._journal.since(self._cursor, kinds=self._kinds)
+        return keys

@@ -38,6 +38,39 @@ from repro.network.grnet import GRNET_NODES, SAMPLE_TIMES
 from repro.workload.scenarios import regional_scenario
 
 
+def _add_fast_path_arguments(subparser: argparse.ArgumentParser) -> None:
+    """Decision-memo / admission-queue knobs shared by run subcommands."""
+    group = subparser.add_argument_group("fast path")
+    group.add_argument(
+        "--decision-cache-size", type=int, default=0, metavar="N",
+        help="LRU bound on whole-decision memoization (0 disables; "
+             "requires the routing cache, which is on by default)",
+    )
+    group.add_argument(
+        "--admission-queue-capacity", type=int, default=0, metavar="N",
+        help="enable the load-leveling admission queue with N waiting "
+             "slots (0 disables; excess arrivals are shed)",
+    )
+    group.add_argument(
+        "--admission-rate", type=float, default=100.0, metavar="R",
+        help="admission-queue drain rate in admissions per simulated second",
+    )
+    group.add_argument(
+        "--admission-tick", type=float, default=1.0, metavar="S",
+        help="admission-queue drain-tick width in simulated seconds",
+    )
+
+
+def _fast_path_config_kwargs(args: argparse.Namespace) -> dict:
+    """Map the shared fast-path CLI knobs onto ``ServiceConfig`` fields."""
+    return {
+        "decision_cache_size": args.decision_cache_size,
+        "admission_queue_capacity": args.admission_queue_capacity,
+        "admission_rate_per_s": args.admission_rate,
+        "admission_tick_s": args.admission_tick,
+    }
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -94,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "defaults to the paper's GRNET backbone")
     simulate.add_argument("--report", action="store_true",
                           help="print per-server/link/title analysis after the run")
+    _add_fast_path_arguments(simulate)
 
     obs = commands.add_parser(
         "obs",
@@ -117,6 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--sample-period", type=float, default=60.0,
                      help="simulated seconds between telemetry samples")
     obs.add_argument("--seed", type=int, default=23)
+    _add_fast_path_arguments(obs)
 
     chaos = commands.add_parser(
         "chaos",
@@ -247,6 +282,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             disk_capacity_mb=args.disk_capacity_mb,
             max_streams=64,
             use_reported_stats=False,
+            **_fast_path_config_kwargs(args),
         ),
         cache=args.cache,
         selection=args.selection,
@@ -269,6 +305,27 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"server switches ...... {metrics.total_switches}")
     print(f"QoS violations ....... {metrics.qos_violation_fraction:.3f}")
     print(f"transport cost ....... {metrics.megabyte_hops:.0f} MB-hops")
+    service = result.service
+    # Alternative --selection policies replace service.vra wholesale and
+    # carry no memo; only the real VRA exposes a decision cache.
+    if getattr(service.vra, "decision_cache", None) is not None:
+        from repro.experiments.report import render_decision_cache
+
+        print()
+        print(
+            render_decision_cache(
+                service.vra.decision_cache_stats, title="Decision cache"
+            )
+        )
+    if service.admission_queue is not None:
+        from repro.experiments.report import render_admission_queue
+
+        print()
+        print(
+            render_admission_queue(
+                service.admission_queue.stats, title="Admission queue"
+            )
+        )
     if args.report:
         from repro.metrics.analysis import analyze_sessions, render_analysis
 
@@ -319,6 +376,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             use_reported_stats=False,
             observability=True,
             telemetry_period_s=args.sample_period,
+            **_fast_path_config_kwargs(args),
         ),
         seed=args.seed,
         tracer=tracer,

@@ -23,10 +23,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable, Dict, FrozenSet, List, Optional, Tuple, Union
+from typing import Callable, Dict, FrozenSet, Hashable, List, Optional, Tuple, Union
 
+from repro.changes import JournalCursor
 from repro.client.client import Client
 from repro.client.requests import VideoRequest
+from repro.core.admission_queue import (
+    DEFAULT_ADMISSION_RATE_PER_S,
+    DEFAULT_ADMISSION_TICK_S,
+    AdmissionQueue,
+    AdmissionSlot,
+)
 from repro.core.lvn import DEFAULT_NORMALIZATION_CONSTANT
 from repro.core.session import (
     DEFAULT_LOCAL_READ_MBPS,
@@ -143,6 +150,27 @@ class ServiceConfig:
             ``benchmarks/test_bench_incremental_lvn.py`` drumbeat
             scenarios measure.  Off restores PR 1's flush-per-epoch
             behaviour exactly.
+        decision_cache_size: LRU bound on *whole-decision* memoization
+            (see :class:`~repro.network.routing.cache.DecisionCache`).
+            Within a routing epoch, requests sharing ``(home server,
+            title, holder availability signature, QoS class)`` are
+            answered from one cached :class:`VraDecision` instead of
+            re-running the poll/LVN/Dijkstra pipeline — the flash-crowd
+            fast path.  Epoch transitions invalidate delta-scoped: only
+            decisions whose Dijkstra tree a changed link could touch are
+            dropped.  Decisions are bit-for-bit identical either way.
+            ``0`` (default) disables it; requires an active routing
+            cache (same ``use_server_load_in_vra`` caveat).
+        admission_queue_capacity: Enables the load-leveling admission
+            front-end (:class:`~repro.core.admission_queue.AdmissionQueue`)
+            when > 0: requests drain from a bounded deterministic FIFO at
+            ``admission_rate_per_s`` instead of all starting at once, and
+            arrivals past ``capacity`` waiting requests are shed with an
+            ``admission-shed:`` failure reason.  ``0`` (default) bypasses
+            the queue entirely — legacy-identical admission.
+        admission_rate_per_s: Queue drain rate (admissions per simulated
+            second, quantised to ``admission_tick_s`` ticks).
+        admission_tick_s: Drain-tick width in simulated seconds.
         retry_attempts: Cluster-boundary retry budget per cluster.  When a
             per-cluster VRA run finds no source (all holders crashed,
             partitioned, or polled out), the session backs off and retries
@@ -188,6 +216,10 @@ class ServiceConfig:
     vra_trace: bool = False
     routing_cache_size: int = 128
     routing_delta_updates: bool = True
+    decision_cache_size: int = 0
+    admission_queue_capacity: int = 0
+    admission_rate_per_s: float = DEFAULT_ADMISSION_RATE_PER_S
+    admission_tick_s: float = DEFAULT_ADMISSION_TICK_S
     retry_attempts: int = 0
     retry_backoff_s: float = 30.0
     retry_backoff_multiplier: float = 2.0
@@ -260,6 +292,22 @@ class VoDService:
         self._subnet_map: Dict[str, str] = {}
         self._clients: Dict[str, Client] = {}
         self.sessions: List[SessionRecord] = []
+        #: Server-availability generation: bumped by every server whenever
+        #: anything feeding a VRA poll answer moves (online state, title
+        #: residency, disk health, stream slots).  Together with the
+        #: database's title-locations version it stamps the decision-key
+        #: cache below, so the flash-crowd hot path rebuilds holder
+        #: signatures only when some availability input actually changed.
+        self._availability_version = 0
+        #: Same-state decision replay: ``(home_uid, title_id) ->
+        #: (freshness token, decision, candidate_count)``.  While the
+        #: token is unchanged, every routing and availability input of
+        #: that pair's decision is provably unchanged, so the stored
+        #: decision is returned as-is — the flash-crowd O(1) fast path.
+        #: Metadata-only (one tuple per home/title pair ever decided).
+        self._decision_replay: Dict[
+            Tuple[str, str], Tuple[Tuple[int, int, int, int], VraDecision, int]
+        ] = {}
         self._register_service_instruments()
 
         # Overrides may name nodes that do not exist *yet*: they apply
@@ -278,6 +326,7 @@ class VoDService:
                 pin_seeded=self.config.pin_seeded_titles,
             )
             self.servers[node.uid] = server
+            server.on_availability_change = self._bump_availability
             server.attach_metrics(self.obs)
             self._register_server_gauges(server)
             self.database.register_server(
@@ -317,8 +366,11 @@ class VoDService:
         # Journal cursors for delta-scoped invalidation.  Starting at the
         # current heads skips the initialisation-phase records; the VRA's
         # first (cold) weight build snapshots every link anyway.
-        self._topo_cursor = topology.change_journal.head
-        self._stats_cursor = self.database.stats_journal.head
+        self._topo_cursor = JournalCursor(
+            topology.change_journal,
+            kinds=(STATE_CHANGE,) if self.config.use_reported_stats else None,
+        )
+        self._stats_cursor = JournalCursor(self.database.stats_journal)
         self.vra = VirtualRoutingAlgorithm(
             topology,
             used_of=self._reported_used if self.config.use_reported_stats else None,
@@ -328,8 +380,52 @@ class VoDService:
             epoch_of=self.routing_epoch if cacheable else None,
             cache_size=self.config.routing_cache_size,
             delta_of=self._routing_delta if delta_on else None,
+            decision_cache_size=(
+                self.config.decision_cache_size
+                if self.config.routing_cache_size > 0
+                else 0
+            ),
             metrics=self.obs,
         )
+        self._decision_memo_on = self.vra.decision_cache is not None
+        # Freshness token for the same-state replay layer: four version
+        # counters covering every input a VRA decision reads — server
+        # availability (poll answers), title holder lists, reported link
+        # stats, and topology structure/traffic.  Reads the underlying
+        # counters directly (not the properties) because this runs per
+        # decision on the hot path; a parity test pins the closure
+        # against routing_epoch().
+        db, topo = self.database, self.topology
+        if self.config.use_reported_stats:
+            self._freshness = lambda: (
+                self._availability_version,
+                db._locations_version,
+                db._link_stats_version,
+                topo._state_version,
+            )
+        else:
+            self._freshness = lambda: (
+                self._availability_version,
+                db._locations_version,
+                topo._traffic_version,
+                topo._state_version,
+            )
+        #: Optional QoS-class hook for decision memoization: maps a title
+        #: id to a hashable service class folded into the decision key.
+        #: None (default) treats every request as one class — today's
+        #: VRA has no QoS-class input, so this is forward compatibility
+        #: for the user-class extension surveyed in PAPERS.md.
+        self.qos_class_of: Optional[Callable[[str], Hashable]] = None
+        #: The load-leveling admission front-end; None when the knob is 0
+        #: (requests go straight to session start, legacy-identical).
+        self.admission_queue: Optional[AdmissionQueue] = None
+        if self.config.admission_queue_capacity > 0:
+            self.admission_queue = AdmissionQueue(
+                capacity=self.config.admission_queue_capacity,
+                rate_per_s=self.config.admission_rate_per_s,
+                tick_s=self.config.admission_tick_s,
+            )
+            self.admission_queue.attach_metrics(self.obs)
         #: Periodic sim-time gauge sampler (a no-op when observability is
         #: off; started alongside the SNMP collector in :meth:`start`).
         self.telemetry = TelemetrySampler(
@@ -447,6 +543,20 @@ class VoDService:
             description="routing-cache hits over lookups, in [0, 1]",
             callback=self._cache_hit_rate,
         )
+        obs.gauge(
+            "decision.cache_hit_rate", subsystem="core",
+            description="whole-decision memo hits over lookups, in [0, 1]",
+            callback=self._decision_hit_rate,
+        )
+        obs.gauge(
+            "admission.queue_depth", subsystem="service",
+            description="requests waiting in the admission queue",
+            callback=lambda: float(
+                self.admission_queue.depth
+                if self.admission_queue is not None
+                else 0.0
+            ),
+        )
 
     def _register_server_gauges(self, server: VideoServer) -> None:
         """Per-server occupancy/load gauges (sampled, not hot-path)."""
@@ -499,6 +609,11 @@ class VoDService:
     def _cache_hit_rate(self) -> float:
         """Routing-cache hit rate, 0.0 when caching is off or replaced."""
         stats = getattr(self.vra, "cache_stats", None)
+        return stats.hit_rate if stats is not None else 0.0
+
+    def _decision_hit_rate(self) -> float:
+        """Decision-memo hit rate, 0.0 when that layer is off."""
+        stats = getattr(self.vra, "decision_cache_stats", None)
         return stats.hit_rate if stats is not None else 0.0
 
     # ------------------------------------------------------------------ #
@@ -598,6 +713,8 @@ class VoDService:
             pin_seeded=self.config.pin_seeded_titles,
         )
         self.servers[node.uid] = server
+        server.on_availability_change = self._bump_availability
+        self._bump_availability()
         server.attach_metrics(self.obs)
         self._register_server_gauges(server)
         self.database.register_server(
@@ -670,16 +787,63 @@ class VoDService:
 
     def decide(self, home_uid: str, title_id: str) -> VraDecision:
         """One VRA decision for a request at ``home_uid`` (no streaming)."""
-        holders = self.database.servers_with_title(title_id)
+        cache_key: Optional[Hashable] = None
+        token: Optional[Tuple[int, int, int, int]] = None
+        if self._decision_memo_on:
+            # Same-state replay: while the freshness token is unchanged,
+            # every input of this pair's previous decision (holder list,
+            # poll answers, LVN weights, topology) is provably unchanged,
+            # so the stored decision is returned without re-entering the
+            # VRA — one dict probe and one tuple compare per request.
+            token = self._freshness()
+            replay = self._decision_replay.get((home_uid, title_id))
+            if replay is not None and replay[0] == token:
+                decision = replay[1]
+                self.vra.count_replayed(decision, replay[2])
+                if self._obs_enabled:
+                    self._m_decision_latency.observe(0.0)
+                if self.tracer.enabled:
+                    self._trace_decision(home_uid, title_id, decision)
+                return decision
+            # The memo key is the promise that a cached decision's inputs
+            # are reproduced exactly: beyond the routing epoch (synced
+            # inside the VRA), each holder's poll answer is a function of
+            # its (online, title-resident, headroom-bucket) signature.
+            holders = self.database.servers_with_title(title_id)
+            cache_key = (
+                home_uid,
+                title_id,
+                frozenset(self._holder_signature(uid, title_id) for uid in holders),
+                self.qos_class_of(title_id) if self.qos_class_of is not None else None,
+            )
+        else:
+            holders = self.database.servers_with_title(title_id)
         started = perf_counter() if self._obs_enabled else 0.0
         decision = self.vra.decide(
             home_uid,
             title_id,
             holders,
             poll=lambda uid: self.servers[uid].can_provide(title_id),
+            cache_key=cache_key,
         )
         if self._obs_enabled:
             self._m_decision_latency.observe((perf_counter() - started) * 1e3)
+        if token is not None:
+            # Arm the replay layer.  The candidate count comes from the
+            # VRA's memo entry (just stored or refreshed) so a replayed
+            # request lands the exact histogram sample a cold run would.
+            entry = self.vra.decision_cache.peek(cache_key)
+            if entry is not None:
+                self._decision_replay[(home_uid, title_id)] = (
+                    token, decision, entry.candidate_count
+                )
+        if self.tracer.enabled:
+            self._trace_decision(home_uid, title_id, decision)
+        return decision
+
+    def _trace_decision(
+        self, home_uid: str, title_id: str, decision: VraDecision
+    ) -> None:
         self.tracer.record(
             self.sim.now,
             "vra.decision",
@@ -691,7 +855,29 @@ class VoDService:
             cost=decision.cost,
             served_locally=decision.served_locally,
         )
-        return decision
+
+    def _bump_availability(self) -> None:
+        """A server's poll-answer inputs moved; stale the replay tokens."""
+        self._availability_version += 1
+
+    def _holder_signature(self, uid: str, title_id: str) -> Tuple[str, bool, int]:
+        """One holder's contribution to the decision-memo key.
+
+        ``can_provide`` is ``online and has_title and headroom > 0``; the
+        signature carries ``(uid, online-and-resident, headroom bucket)``
+        where the bucket is ``bit_length`` of the free stream slots (0
+        means saturated).  The poll answer is exactly ``flag and bucket >
+        0``, so equal keys guarantee equal poll outcomes while stream
+        churn within a power-of-two band keeps the key stable.
+        """
+        server = self.servers[uid]
+        admission = server.admission
+        headroom = admission.max_streams - admission.active_count
+        return (
+            uid,
+            server.online and server.has_title(title_id),
+            headroom.bit_length() if headroom > 0 else 0,
+        )
 
     def try_decide(self, home_uid: str, title_id: str) -> DecideOutcome:
         """One VRA decision that degrades to an explicit outcome.
@@ -761,19 +947,12 @@ class VoDService:
         cache's delta probe) then falls back to a full flush.
         """
         if self.config.use_reported_stats:
-            self._topo_cursor, structural = self.topology.change_journal.since(
-                self._topo_cursor, kinds=(STATE_CHANGE,)
-            )
-            self._stats_cursor, reported = self.database.stats_journal.since(
-                self._stats_cursor
-            )
+            structural = self._topo_cursor.drain()
+            reported = self._stats_cursor.drain()
             if structural is None or reported is None:
                 return None
             return structural | reported
-        self._topo_cursor, names = self.topology.change_journal.since(
-            self._topo_cursor
-        )
-        return names
+        return self._topo_cursor.drain()
 
     def snapshot(self) -> Dict[str, object]:
         """One-call operational snapshot of the running service.
@@ -785,6 +964,7 @@ class VoDService:
         """
         cache_stats = getattr(self.vra, "cache_stats", None)
         cache_dict = cache_stats.as_dict() if cache_stats is not None else None
+        decision_stats = getattr(self.vra, "decision_cache_stats", None)
         snapshot: Dict[str, object] = {
             "time": self.sim.now,
             "server_count": len(self.servers),
@@ -795,6 +975,14 @@ class VoDService:
             "vra_decisions": getattr(self.vra, "decision_count", 0),
             "routing_epoch": self.routing_epoch(),
             "routing_cache": cache_dict,
+            "decision_cache": (
+                decision_stats.as_dict() if decision_stats is not None else None
+            ),
+            "admission_queue": (
+                self.admission_queue.snapshot()
+                if self.admission_queue is not None
+                else None
+            ),
         }
         cache_label = (
             f"cache {cache_dict['hit_rate']:.2%} hit rate"
@@ -875,6 +1063,39 @@ class VoDService:
                 dma_action=dma_result.action.value,
                 dma_points=dma_result.points,
             )
+
+        # Load-leveling front-end: the queue sits *before* the strict-QoS
+        # decision so an overload sheds cheaply instead of paying a VRA
+        # run per doomed request.  Zero-wait slots fall through to the
+        # exact legacy path below, so an idle queue is byte-identical to
+        # no queue at all.
+        wait_s = 0.0
+        if self.admission_queue is not None:
+            slot = self.admission_queue.offer(self.sim.now, (home_uid, title_id))
+            if slot.shed:
+                return self._shed_request(request, video, home_server, dma_stored, span, slot)
+            wait_s = slot.wait_s
+            if wait_s > 0.0:
+                if self.tracer.enabled:
+                    self.tracer.record(
+                        self.sim.now,
+                        "request.queued",
+                        f"{client_id} at {home_uid}: {title_id} admission "
+                        f"delayed {wait_s:.3f}s ({slot.depth} ahead)",
+                        client_id=client_id,
+                        home_uid=home_uid,
+                        title_id=title_id,
+                        wait_s=wait_s,
+                        depth=slot.depth,
+                    )
+                if span is not None:
+                    span.add(
+                        self.sim.now, "queued",
+                        wait_s=wait_s, admit_at=slot.admit_at, depth=slot.depth,
+                    )
+                return self._delay_request(
+                    request, video, home_server, dma_stored, span, wait_s
+                )
 
         if self.config.strict_qos_admission and not self._qos_admissible(
             home_uid, title_id, video
@@ -1052,32 +1273,130 @@ class VoDService:
         """
         session = self._build_session(request, video, home_server, dma_stored, span)
         self.sessions.append(session.record)
+        process = Process(
+            self.sim,
+            self._requeue_body(request, video, home_server, dma_stored, span, session),
+            name=f"requeued:{request.request_id}",
+        )
+        return request, session, process
+
+    def _requeue_body(
+        self,
+        request: VideoRequest,
+        video: VideoTitle,
+        home_server: VideoServer,
+        dma_stored: bool,
+        span: Optional[SessionSpan],
+        session: StreamingSession,
+    ):
+        """The strict-QoS re-attempt loop (a sim-process generator),
+        shared by :meth:`_requeue_request` and the delayed-admission path."""
         attempts = self.config.requeue_attempts
         delay = self.config.requeue_delay_s
+        for attempt in range(1, attempts + 1):
+            self._m_requeues.inc()
+            self.tracer.record(
+                self.sim.now,
+                "request.requeued",
+                f"{request.client_id} at {request.home_uid}: "
+                f"{request.title_id} re-queued ({attempt}/{attempts})",
+                client_id=request.client_id,
+                home_uid=request.home_uid,
+                title_id=request.title_id,
+                attempt=attempt,
+            )
+            if span is not None:
+                span.add(self.sim.now, "requeued", attempt=attempt, delay_s=delay)
+            yield Delay(delay)
+            if self._qos_admissible(request.home_uid, request.title_id, video):
+                result = yield from session.run()
+                return result
+        self._fail_blocked(request, video, home_server, dma_stored, span)
+        return session.record
 
-        def queued():
-            for attempt in range(1, attempts + 1):
-                self._m_requeues.inc()
-                self.tracer.record(
-                    self.sim.now,
-                    "request.requeued",
-                    f"{request.client_id} at {request.home_uid}: "
-                    f"{request.title_id} re-queued ({attempt}/{attempts})",
-                    client_id=request.client_id,
-                    home_uid=request.home_uid,
-                    title_id=request.title_id,
-                    attempt=attempt,
-                )
-                if span is not None:
-                    span.add(self.sim.now, "requeued", attempt=attempt, delay_s=delay)
-                yield Delay(delay)
-                if self._qos_admissible(request.home_uid, request.title_id, video):
-                    result = yield from session.run()
+    def _delay_request(
+        self,
+        request: VideoRequest,
+        video: VideoTitle,
+        home_server: VideoServer,
+        dma_stored: bool,
+        span: Optional[SessionSpan],
+        wait_s: float,
+    ) -> Tuple[VideoRequest, StreamingSession, Process]:
+        """Admit a queued request after its load-leveling delay.
+
+        The strict-QoS admission check (when enabled) runs at *admit*
+        time, not offer time — by then the flash crowd ahead of this
+        request has already been leveled, so the check sees the state the
+        session will actually start under.
+        """
+        session = self._build_session(request, video, home_server, dma_stored, span)
+        session.record.admission_wait_s = wait_s
+        self.sessions.append(session.record)
+        queue = self.admission_queue
+
+        def delayed():
+            yield Delay(wait_s)
+            queue.release()
+            if self.config.strict_qos_admission and not self._qos_admissible(
+                request.home_uid, request.title_id, video
+            ):
+                if self.config.requeue_attempts > 0:
+                    result = yield from self._requeue_body(
+                        request, video, home_server, dma_stored, span, session
+                    )
                     return result
-            self._fail_blocked(request, video, home_server, dma_stored, span)
-            return session.record
+                self._fail_blocked(request, video, home_server, dma_stored, span)
+                return session.record
+            result = yield from session.run()
+            return result
 
-        process = Process(self.sim, queued(), name=f"requeued:{request.request_id}")
+        process = Process(self.sim, delayed(), name=f"queued:{request.request_id}")
+        return request, session, process
+
+    def _shed_request(
+        self,
+        request: VideoRequest,
+        video: VideoTitle,
+        home_server: VideoServer,
+        dma_stored: bool,
+        span: Optional[SessionSpan],
+        slot: AdmissionSlot,
+    ) -> Tuple[VideoRequest, StreamingSession, Process]:
+        """Reject a request at the admission queue (overload shed)."""
+        request.mark_failed(
+            f"admission-shed: queue full ({slot.depth} waiting)"
+        )
+        if span is not None:
+            span.finish(self.sim.now, request.status.value)
+        self.tracer.record(
+            self.sim.now,
+            "request.shed",
+            f"{request.client_id} at {request.home_uid}: {request.title_id} "
+            f"shed (admission queue full, {slot.depth} waiting)",
+            client_id=request.client_id,
+            home_uid=request.home_uid,
+            title_id=request.title_id,
+            depth=slot.depth,
+        )
+        if dma_stored:
+            home_server.abort_download(request.title_id)
+        session = StreamingSession(
+            sim=self.sim,
+            request=request,
+            video=video,
+            cluster_mb=self.config.cluster_mb,
+            decide=lambda: self.decide(request.home_uid, request.title_id),
+            flows=self.flows,
+            servers=self.servers,
+        )
+        self.sessions.append(session.record)
+
+        def _already_shed():
+            return session.record
+            yield  # pragma: no cover - makes this a generator
+
+        process = Process(self.sim, _already_shed(), name=f"shed:{request.request_id}")
         return request, session, process
 
     def _block_request(

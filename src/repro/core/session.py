@@ -138,6 +138,9 @@ class SessionRecord:
         retry_wait_s: Total simulated time spent in retry backoff.
         recovered: True when at least one cluster boundary failed and a
             later retry found a source again (the resilience headline).
+        admission_wait_s: Load-leveling delay assigned by the admission
+            queue before the session started (0.0 when the queue is off
+            or the request was admitted immediately).
     """
 
     request: VideoRequest
@@ -150,6 +153,7 @@ class SessionRecord:
     retry_count: int = 0
     retry_wait_s: float = 0.0
     recovered: bool = False
+    admission_wait_s: float = 0.0
 
     @property
     def servers_used(self) -> List[str]:

@@ -35,6 +35,8 @@ from repro.errors import (
 )
 from repro.network.routing.cache import (
     DEFAULT_TREE_CAPACITY,
+    DecisionCache,
+    DecisionCacheStats,
     RoutingCache,
     RoutingCacheStats,
 )
@@ -127,6 +129,14 @@ class VirtualRoutingAlgorithm:
             in place, instead of flushing everything.  A None return
             from the provider (journal overflow) falls back to the full
             flush, so the delta path can never change a decision.
+        decision_cache_size: LRU bound on whole memoized decisions
+            (:class:`~repro.network.routing.cache.DecisionCache`).  Only
+            active alongside the routing cache; ``0`` (the default)
+            disables whole-decision memoization and restores the
+            run-Figure-5-per-request behaviour exactly.  Lookups happen
+            only for :meth:`decide` calls that pass a ``cache_key``,
+            because the key is what guarantees the poll answers are
+            reproducible (see :meth:`decide`).
         metrics: Optional telemetry registry; when given (and enabled)
             the VRA counts decisions / local serves, records a
             candidate-count histogram under the ``vra.*`` families, and
@@ -144,6 +154,7 @@ class VirtualRoutingAlgorithm:
         epoch_of: Optional[EpochFn] = None,
         cache_size: int = DEFAULT_TREE_CAPACITY,
         delta_of: Optional[DeltaFn] = None,
+        decision_cache_size: int = 0,
         metrics: Optional[MetricsRegistry] = None,
     ):
         self._topology = topology
@@ -171,6 +182,17 @@ class VirtualRoutingAlgorithm:
             if cacheable
             else None
         )
+        if decision_cache_size < 0:
+            raise ReproError(
+                f"decision cache size must be >= 0, got {decision_cache_size!r}"
+            )
+        #: Whole-decision memo (None unless sized and the routing cache
+        #: is active — the decision layer leans on its epoch transitions).
+        self.decision_cache: Optional[DecisionCache] = (
+            DecisionCache(max_decisions=decision_cache_size)
+            if cacheable and decision_cache_size > 0
+            else None
+        )
         self.decision_count = 0
         # Instruments resolve once here; a disabled registry hands back
         # shared no-ops, so the decide() hot path pays one call per event.
@@ -190,6 +212,8 @@ class VirtualRoutingAlgorithm:
         )
         if self.cache is not None and metrics is not None:
             self.cache.attach_metrics(metrics)
+        if self.decision_cache is not None and metrics is not None:
+            self.decision_cache.attach_metrics(metrics)
 
     @property
     def cache_stats(self) -> Optional[RoutingCacheStats]:
@@ -197,9 +221,35 @@ class VirtualRoutingAlgorithm:
         return self.cache.stats if self.cache is not None else None
 
     @property
+    def decision_cache_stats(self) -> Optional[DecisionCacheStats]:
+        """Whole-decision memo counters, or None when that layer is off."""
+        return (
+            self.decision_cache.stats if self.decision_cache is not None else None
+        )
+
+    @property
     def delta_maintenance(self) -> bool:
         """True when the cache patches epochs from dirty-link deltas."""
         return self._incremental is not None
+
+    def count_replayed(self, decision: "VraDecision", candidate_count: int) -> None:
+        """Telemetry parity for a decision replayed by an outer memo layer.
+
+        The service's same-state fast path hands back a previously
+        returned decision without re-entering :meth:`decide`; this counts
+        exactly what a decide() call answering from the decision cache
+        would have counted, so every counter and hit rate is identical
+        whichever layer served the request.
+        """
+        self.decision_count += 1
+        self._m_decisions.inc()
+        memo = self.decision_cache
+        if memo is not None:
+            memo.count_hit()
+        if decision.served_locally:
+            self._m_local_serves.inc()
+        else:
+            self._m_candidates.observe(candidate_count)
 
     def weights(self) -> Dict[str, float]:
         """Current LVN table ("Calculate the Link Validation Number for
@@ -254,6 +304,7 @@ class VirtualRoutingAlgorithm:
         title_id: str,
         holders: Iterable[str],
         poll: Optional[PollFn] = None,
+        cache_key: Optional[Hashable] = None,
     ) -> VraDecision:
         """Run Figure 5 for one request.
 
@@ -268,6 +319,13 @@ class VirtualRoutingAlgorithm:
             poll: Availability poll; servers answering False are excluded
                 ("Poll all of those servers to find out which ones can
                 provide the video").  Defaults to everyone-available.
+            cache_key: Whole-decision memo key (None skips the decision
+                cache).  Passing a key is the caller's promise that the
+                key fully determines this call's inputs beyond the
+                routing epoch — in particular every holder's poll answer
+                (the service layer folds each holder's online/title/
+                stream-headroom state into the key).  Callers with ad-hoc
+                ``poll`` callbacks must pass None.
 
         Returns:
             The :class:`VraDecision` with the full audit trail.
@@ -280,6 +338,29 @@ class VirtualRoutingAlgorithm:
         """
         self.decision_count += 1
         self._m_decisions.inc()
+        memo = self.decision_cache
+        if memo is not None and cache_key is not None:
+            # One epoch sync covers both cache layers; the decision cache
+            # scopes its invalidation to the same transition the routing
+            # cache just absorbed (or flushed on).  The epoch compare is
+            # inlined so the overwhelmingly common unchanged-epoch case
+            # costs one tuple comparison, not a sync round-trip.
+            cache = self.cache
+            epoch = self._epoch_of()
+            if epoch != cache.epoch:
+                memo.apply(cache.sync(epoch))
+            entry = memo.get(cache_key)
+            if entry is not None:
+                decision: VraDecision = entry.decision
+                # Replay the per-decision telemetry a cold run would have
+                # emitted, so counters stay identical with the cache off.
+                if decision.served_locally:
+                    self._m_local_serves.inc()
+                else:
+                    self._m_candidates.observe(entry.candidate_count)
+                return decision
+        else:
+            memo = None
         # Normalize once: the caller may hand us any iterable (generator,
         # set, database list); one pass builds the ordered, deduplicated
         # tuple every later step works from.
@@ -294,13 +375,16 @@ class VirtualRoutingAlgorithm:
         # the requested video THEN authorize ... QUIT".
         if home_uid in holder_list and poll_fn(home_uid):
             self._m_local_serves.inc()
-            return VraDecision(
+            decision = VraDecision(
                 title_id=title_id,
                 home_uid=home_uid,
                 chosen_uid=home_uid,
                 served_locally=True,
                 path=Path(nodes=(home_uid,), cost=0.0),
             )
+            if memo is not None:
+                memo.put(cache_key, decision, tree=None)
+            return decision
 
         # Single pass: each remote holder is polled exactly once and lands
         # in exactly one of the two buckets.
@@ -336,7 +420,7 @@ class VirtualRoutingAlgorithm:
         # "From those alternative least cost paths choose the one with the
         # smallest cost."  Ties break on server uid for determinism.
         chosen_uid = min(candidate_paths, key=lambda uid: (candidate_paths[uid].cost, uid))
-        return VraDecision(
+        decision = VraDecision(
             title_id=title_id,
             home_uid=home_uid,
             chosen_uid=chosen_uid,
@@ -347,3 +431,6 @@ class VirtualRoutingAlgorithm:
             dijkstra_result=result,
             polled_out=polled_out,
         )
+        if memo is not None:
+            memo.put(cache_key, decision, tree=result, candidate_count=len(available))
+        return decision

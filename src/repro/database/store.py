@@ -26,6 +26,7 @@ class ServiceDatabase:
         self._links: Dict[str, LinkEntry] = {}
         self._titles: Dict[str, TitleInfo] = {}
         self._title_locations: Dict[str, Set[str]] = {}
+        self._locations_version = 0
         self._link_stats_version = 0
         #: Journal of links whose *routing-visible* reported value moved.
         #: ``link_stats_version`` bumps on every write (the epoch contract
@@ -45,6 +46,14 @@ class ServiceDatabase:
         VRA's routing inputs could have changed — the contract the
         epoch-versioned routing cache relies on."""
         return self._link_stats_version
+
+    @property
+    def title_locations_version(self) -> int:
+        """Monotonic counter bumped whenever any title's holder list
+        changes (advertisements and withdrawals).  Equal values guarantee
+        every :meth:`servers_with_title` answer is unchanged — one input
+        of the service's decision-key fast path."""
+        return self._locations_version
 
     # ------------------------------------------------------------------ #
     # handles
@@ -144,6 +153,7 @@ class ServiceDatabase:
         self.title_info(title_id)
         entry.title_ids.add(title_id)
         self._title_locations.setdefault(title_id, set()).add(server_uid)
+        self._locations_version += 1
 
     def remove_title_from_server(self, server_uid: str, title_id: str) -> None:
         """Withdraw a title from a server (DMA cache eviction).
@@ -160,6 +170,7 @@ class ServiceDatabase:
         holders = self._title_locations.get(title_id)
         if holders:
             holders.discard(server_uid)
+        self._locations_version += 1
 
     def server_title_ids(self, server_uid: str) -> Set[str]:
         """Copy of the title-id set advertised by one server."""

@@ -40,7 +40,7 @@ and no counters move, restoring the uncached behaviour exactly.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.errors import ReproError
@@ -51,10 +51,42 @@ from repro.obs.registry import NULL_COUNTER, Counter, MetricsRegistry
 #: steady state, so this comfortably covers topologies of ~128 nodes).
 DEFAULT_TREE_CAPACITY = 128
 
+#: Default LRU bound on whole memoized decisions; one flash crowd keys a
+#: handful of (home, title, holder-signature) tuples, so this covers many
+#: concurrent crowds.
+DEFAULT_DECISION_CAPACITY = 4096
+
 #: Signature of the delta probe: None means "cannot patch, flush fully";
 #: otherwise the patched weight table plus the link deltas to revalidate
 #: cached trees against.
 DeltaProbe = Callable[[], Optional[Tuple[Dict[str, float], List[LinkDelta]]]]
+
+#: ``EpochTransition.kind`` values.
+EPOCH_INITIAL = "initial"
+EPOCH_FULL = "full"
+EPOCH_PARTIAL = "partial"
+
+
+@dataclass(frozen=True)
+class EpochTransition:
+    """How the routing cache absorbed one epoch change.
+
+    Returned by :meth:`RoutingCache.sync` so layers stacked above the
+    routing cache (the :class:`DecisionCache`) can scope their own
+    invalidation to the same event without re-draining the change
+    journals:
+
+    * ``initial`` — the cache's very first epoch; nothing was cached yet.
+    * ``full`` — everything was flushed (no delta probe, or the probe
+      could not patch).
+    * ``partial`` — the epoch was absorbed in place: ``weights`` is the
+      post-patch LVN table and ``deltas`` lists exactly the links whose
+      weight or online state moved (empty for a no-op epoch).
+    """
+
+    kind: str
+    weights: Optional[Dict[str, float]] = None
+    deltas: Tuple[LinkDelta, ...] = ()
 
 
 @dataclass
@@ -186,7 +218,7 @@ class RoutingCache:
         """The LVN table for ``epoch``, computing via ``compute`` on miss."""
         if not self.enabled:
             return compute()
-        self._sync_epoch(epoch)
+        self.sync(epoch)
         if self._weights is None:
             self.stats.weight_misses += 1
             self._weights = compute()
@@ -203,7 +235,7 @@ class RoutingCache:
         """The Dijkstra tree from ``source`` for ``epoch`` (LRU-bounded)."""
         if not self.enabled:
             return compute()
-        self._sync_epoch(epoch)
+        self.sync(epoch)
         cached = self._trees.get(source)
         if cached is not None:
             self.stats.tree_hits += 1
@@ -238,9 +270,16 @@ class RoutingCache:
         self._weights = None
         self._trees.clear()
 
-    def _sync_epoch(self, epoch: Hashable) -> None:
+    def sync(self, epoch: Hashable) -> Optional[EpochTransition]:
+        """Bring the cache onto ``epoch``; returns how it got there.
+
+        Called implicitly by :meth:`weights`/:meth:`tree`, and explicitly
+        by the :class:`DecisionCache` layer, which forwards the returned
+        :class:`EpochTransition` into its own invalidation pass.  Returns
+        None when the epoch is unchanged (nothing to do).
+        """
         if epoch == self._epoch:
-            return
+            return None
         if self._epoch is not None and self.delta_probe is not None:
             patched = self.delta_probe()
             if patched is not None:
@@ -262,9 +301,260 @@ class RoutingCache:
                         else:
                             self.stats.trees_rerooted += 1
                     self._trees = survivors
-                return
-        if self._epoch is not None:
+                return EpochTransition(
+                    EPOCH_PARTIAL, weights=table, deltas=tuple(deltas)
+                )
+        initial = self._epoch is None
+        if not initial:
             self.stats.full_invalidations += 1
         self._epoch = epoch
         self._weights = None
         self._trees.clear()
+        return EpochTransition(EPOCH_INITIAL if initial else EPOCH_FULL)
+
+
+@dataclass
+class DecisionCacheStats:
+    """Hit/miss/invalidation counters of one :class:`DecisionCache`.
+
+    Attributes:
+        hits: Decisions answered whole from cache.
+        misses: Lookups that fell through to a full VRA run.
+        full_invalidations: Epoch transitions that flushed every decision.
+        partial_invalidations: Epoch transitions absorbed by revalidating
+            decisions against the link deltas.
+        decisions_flushed: Decisions dropped by full invalidations.
+        decisions_dropped: Decisions dropped because a link delta touched
+            their shortest-path tree.
+        decisions_refreshed: Decisions kept across a weight-changing delta
+            batch, with their audit weight table rebased onto the patched
+            one (choice, path and cost provably unchanged).
+        evictions: Decisions dropped by the LRU bound.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    full_invalidations: int = 0
+    partial_invalidations: int = 0
+    decisions_flushed: int = 0
+    decisions_dropped: int = 0
+    decisions_refreshed: int = 0
+    evictions: int = 0
+
+    @property
+    def invalidations(self) -> int:
+        """Total epoch transitions handled (full flushes + partials)."""
+        return self.full_invalidations + self.partial_invalidations
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over total lookups, in [0, 1] (0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict for snapshots, traces and reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "full_invalidations": self.full_invalidations,
+            "partial_invalidations": self.partial_invalidations,
+            "decisions_flushed": self.decisions_flushed,
+            "decisions_dropped": self.decisions_dropped,
+            "decisions_refreshed": self.decisions_refreshed,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class _DecisionEntry:
+    """One memoized decision plus the state its validity hangs on."""
+
+    decision: object
+    tree: Optional[DijkstraResult]
+    candidate_count: int
+
+
+class DecisionCache:
+    """Whole-decision memo layered above the :class:`RoutingCache`.
+
+    Every request sharing a key — the caller builds it from the home
+    server, title, per-holder availability signature and QoS class — is
+    answered with the *same* :class:`~repro.core.vra.VraDecision` within
+    one routing epoch, so a 10k-request flash crowd costs one Dijkstra
+    run plus 10k dict hits.
+
+    Invalidation contract (what evicts a whole decision vs. a tree):
+
+    * A **full** epoch transition flushes everything, exactly like the
+      routing cache underneath.
+    * A **partial** transition (delta-patched epoch) drops only decisions
+      whose shortest-path tree a :class:`LinkDelta` could have touched —
+      the same :func:`tree_unaffected` proof the routing cache runs for
+      its trees, memoized per distinct tree so a crowd of decisions over
+      one tree is judged once.  Locally-served decisions reference no
+      tree and survive every delta.
+    * Surviving routed decisions are *refreshed*: their audit ``weights``
+      table is rebased onto the patched table (``dataclasses.replace`` on
+      the frozen decision), because that is the table a cold run after
+      the delta would embed.  Choice, path and cost are provably
+      unchanged, so the refreshed decision stays bit-for-bit equal to a
+      cache-off recompute.
+    * Availability churn that never touches a journal — a holder filling
+      its last stream slot, a title evicted by the DMA — is carried by
+      the *key* (the holder signatures change), not by invalidation.
+
+    ``max_decisions=0`` disables the cache entirely: lookups miss, stores
+    are dropped, and no counters move.
+    """
+
+    def __init__(self, max_decisions: int = DEFAULT_DECISION_CAPACITY):
+        if max_decisions < 0:
+            raise ReproError(
+                f"decision cache size must be >= 0, got {max_decisions!r}"
+            )
+        self.max_decisions = max_decisions
+        self.stats = DecisionCacheStats()
+        self._entries: "OrderedDict[Hashable, _DecisionEntry]" = OrderedDict()
+        self._on = max_decisions > 0
+        self._full = False
+        self._m_hits: Counter = NULL_COUNTER
+        self._m_misses: Counter = NULL_COUNTER
+        self._m_refreshed: Counter = NULL_COUNTER
+        self._m_dropped: Counter = NULL_COUNTER
+
+    @property
+    def enabled(self) -> bool:
+        """False when ``max_decisions`` is 0 (pass-through mode)."""
+        return self.max_decisions > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[_DecisionEntry]:
+        """The live entry under ``key``, or None (counted as hit/miss)."""
+        if not self._on:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            self._m_misses.inc()
+            return None
+        self.stats.hits += 1
+        self._m_hits.inc()
+        if self._full:
+            # LRU ordering only matters once eviction is possible; below
+            # capacity the reorder is skipped to keep the hit path lean.
+            self._entries.move_to_end(key)
+        return entry
+
+    def peek(self, key: Hashable) -> Optional[_DecisionEntry]:
+        """The entry under ``key`` without hit/miss accounting or LRU
+        reordering (introspection; the service's replay layer reads the
+        candidate count it just stored)."""
+        return self._entries.get(key)
+
+    def put(
+        self,
+        key: Hashable,
+        decision: object,
+        tree: Optional[DijkstraResult],
+        candidate_count: int = 0,
+    ) -> None:
+        """Memoize ``decision`` under ``key`` (LRU-bounded).
+
+        Args:
+            key: The full decision key; the caller guarantees that equal
+                keys within one epoch imply bit-identical decisions.
+            decision: The decision object to hand back on hits.
+            tree: The Dijkstra tree the decision was derived from, or
+                None for locally-served decisions (which then survive
+                every link delta).
+            candidate_count: Polled-up remote candidates, replayed into
+                the ``vra.candidates`` histogram on hits so telemetry
+                matches a cache-off run.
+        """
+        if not self._on:
+            return
+        self._entries[key] = _DecisionEntry(decision, tree, candidate_count)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_decisions:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._full = len(self._entries) >= self.max_decisions
+
+    def apply(self, transition: Optional[EpochTransition]) -> None:
+        """Absorb one routing-epoch transition (from :meth:`RoutingCache.sync`)."""
+        if transition is None or transition.kind == EPOCH_INITIAL:
+            return
+        if transition.kind == EPOCH_FULL:
+            if self._entries:
+                self.stats.decisions_flushed += len(self._entries)
+                self._entries.clear()
+                self._full = False
+            self.stats.full_invalidations += 1
+            return
+        self.stats.partial_invalidations += 1
+        deltas = transition.deltas
+        if not deltas or not self._entries:
+            return
+        table = transition.weights
+        verdicts: Dict[int, bool] = {}
+        survivors: "OrderedDict[Hashable, _DecisionEntry]" = OrderedDict()
+        for key, entry in self._entries.items():
+            tree = entry.tree
+            if tree is None:  # local serve: no routing state involved
+                survivors[key] = entry
+                continue
+            verdict = verdicts.get(id(tree))
+            if verdict is None:
+                verdict = all(tree_unaffected(tree, d) for d in deltas)
+                verdicts[id(tree)] = verdict
+            if not verdict:
+                self.stats.decisions_dropped += 1
+                self._m_dropped.inc()
+                continue
+            if getattr(entry.decision, "weights", None) is not table:
+                entry.decision = replace(entry.decision, weights=table)
+                self.stats.decisions_refreshed += 1
+                self._m_refreshed.inc()
+            survivors[key] = entry
+        self._entries = survivors
+        self._full = len(self._entries) >= self.max_decisions
+
+    def attach_metrics(self, registry: MetricsRegistry) -> None:
+        """Resolve the ``decision.*`` counters from a registry."""
+        self._m_hits = registry.counter(
+            "decision.hits", subsystem="core",
+            description="VRA decisions answered whole from the decision cache",
+        )
+        self._m_misses = registry.counter(
+            "decision.misses", subsystem="core",
+            description="decision-cache lookups that ran the full VRA",
+        )
+        self._m_refreshed = registry.counter(
+            "decision.refreshed", subsystem="core",
+            description="cached decisions rebased in place across link deltas",
+        )
+        self._m_dropped = registry.counter(
+            "decision.dropped", subsystem="core",
+            description="cached decisions evicted by a link delta on their tree",
+        )
+
+    def count_hit(self) -> None:
+        """Count a hit answered by an outer replay layer.
+
+        The service's same-state fast path can prove (via its freshness
+        token) that a previously returned decision is still exact without
+        re-entering the VRA; it calls this so hit-rate reporting matches
+        what a full lookup would have counted.
+        """
+        self.stats.hits += 1
+        self._m_hits.inc()
+
+    def clear(self) -> None:
+        """Drop all cached decisions (counters are preserved)."""
+        self._entries.clear()
+        self._full = False

@@ -8,7 +8,7 @@ can provide the video") is answered from this controller.
 
 from __future__ import annotations
 
-from typing import Set
+from typing import Callable, Optional, Set
 
 from repro.errors import AdmissionError
 
@@ -25,6 +25,10 @@ class AdmissionController:
         self.rejected_count = 0
         self.admitted_count = 0
         self._peak_active = 0
+        #: Optional listener fired whenever the occupied-slot count moves
+        #: (an input of the VRA poll answer; the service's decision-key
+        #: cache invalidates on it).
+        self.on_change: Optional[Callable[[], None]] = None
 
     @property
     def active_count(self) -> int:
@@ -66,6 +70,8 @@ class AdmissionController:
         self.admitted_count += 1
         if len(self._active) > self._peak_active:
             self._peak_active = len(self._active)
+        if self.on_change is not None:
+            self.on_change()
         return lease
 
     def release(self, lease: int) -> None:
@@ -77,3 +83,5 @@ class AdmissionController:
         if lease not in self._active:
             raise AdmissionError(f"lease {lease} is not active (double release?)")
         self._active.discard(lease)
+        if self.on_change is not None:
+            self.on_change()

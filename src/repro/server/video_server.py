@@ -68,6 +68,13 @@ class VideoServer:
         #: Optional ``listener(server)`` invoked on each actual
         #: online/offline transition (the fault injector's crash hook).
         self.on_state_change: Optional[Callable[["VideoServer"], None]] = None
+        #: Optional listener fired whenever anything feeding this server's
+        #: VRA poll answer (:meth:`can_provide`) can move: online state,
+        #: title residency/pending downloads, disk health, stream slots.
+        #: The service wires it to invalidate its decision-key cache.
+        self.on_availability_change: Optional[Callable[[], None]] = None
+        self.admission.on_change = self._touch_availability
+        self.array.on_change = self._touch_availability
         self.serve_count = 0
         # A title the DMA stores during a request is only *bytes in flight*
         # until that request's own download completes; deferral keeps it out
@@ -129,8 +136,13 @@ class VideoServer:
             return
         self._online = value
         self._state_version += 1
+        self._touch_availability()
         if self.on_state_change is not None:
             self.on_state_change(self)
+
+    def _touch_availability(self) -> None:
+        if self.on_availability_change is not None:
+            self.on_availability_change()
 
     @property
     def state_version(self) -> int:
@@ -235,12 +247,14 @@ class VideoServer:
         """The deferred download of ``title_id`` completed: advertise it."""
         if title_id in self._pending_advertisements:
             self._pending_advertisements.discard(title_id)
+            self._touch_availability()
             self._database.add_title_to_server(self.node_uid, title_id)
 
     def abort_download(self, title_id: str) -> None:
         """The deferred download failed: drop the partial bytes silently."""
         if title_id in self._pending_advertisements:
             self._pending_advertisements.discard(title_id)
+            self._touch_availability()
             if self.array.has_video(title_id):
                 self.array.remove(title_id)
 
@@ -262,6 +276,7 @@ class VideoServer:
 
     def _advertise(self, title_id: str) -> None:
         self._m_dma_stores.inc()
+        self._touch_availability()
         if self._defer_dma_advertisements and not self._seeding:
             self._pending_advertisements.add(title_id)
         else:
@@ -269,6 +284,7 @@ class VideoServer:
 
     def _withdraw(self, title_id: str) -> None:
         self._m_dma_evictions.inc()
+        self._touch_availability()
         if title_id in self._pending_advertisements:
             # Evicted before its download finished: it was never advertised.
             self._pending_advertisements.discard(title_id)

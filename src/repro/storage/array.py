@@ -9,7 +9,7 @@ check relies on.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.errors import StorageError, StripingError
 from repro.storage.disk import Disk, StoredCluster
@@ -32,6 +32,14 @@ class DiskArray:
         self._videos: Dict[str, VideoTitle] = {}
         self._layouts: Dict[str, StripingLayout] = {}
         self._failed_disks: Set[int] = set()
+        #: Optional listener fired when servability can move (store,
+        #: remove, disk failure/restore) — an input of the VRA poll
+        #: answer; the service's decision-key cache invalidates on it.
+        self.on_change: Optional[Callable[[], None]] = None
+
+    def _touch(self) -> None:
+        if self.on_change is not None:
+            self.on_change()
 
     # ------------------------------------------------------------------ #
     # capacity
@@ -91,6 +99,7 @@ class DiskArray:
         """
         self.disk(index)  # range check
         self._failed_disks.add(index)
+        self._touch()
 
     def restore_disk(self, index: int) -> None:
         """Bring a failed disk back into service.  Idempotent.
@@ -100,6 +109,7 @@ class DiskArray:
         """
         self.disk(index)  # range check
         self._failed_disks.discard(index)
+        self._touch()
 
     def is_servable(self, title_id: str) -> bool:
         """True when the video is resident and touches no failed disk.
@@ -160,6 +170,7 @@ class DiskArray:
             )
         self._videos[video.title_id] = video
         self._layouts[video.title_id] = layout
+        self._touch()
         return layout
 
     def remove(self, title_id: str) -> VideoTitle:
@@ -174,6 +185,7 @@ class DiskArray:
         layout = self._layouts.pop(title_id)
         for cluster_index, disk_index, _ in layout.assignments:
             self._disks[disk_index].remove(title_id, cluster_index)
+        self._touch()
         return video
 
     def has_video(self, title_id: str) -> bool:

@@ -1,0 +1,150 @@
+"""Unit tests for the load-leveling admission queue.
+
+The queue is a pure function of its arrival sequence: every outcome
+(immediate / delayed / shed, assigned tick, cohort membership) must be
+derivable by hand from ``capacity``, ``rate_per_s`` and ``tick_s``, and
+identical on every replay.
+"""
+
+import pytest
+
+from repro.core.admission_queue import AdmissionQueue
+from repro.errors import ReproError
+
+
+class TestValidation:
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ReproError, match="capacity"):
+            AdmissionQueue(capacity=0)
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ReproError, match="rate"):
+            AdmissionQueue(capacity=1, rate_per_s=0.0)
+        with pytest.raises(ReproError, match="rate"):
+            AdmissionQueue(capacity=1, rate_per_s=-1.0)
+
+    def test_nonpositive_tick_rejected(self):
+        with pytest.raises(ReproError, match="tick"):
+            AdmissionQueue(capacity=1, tick_s=0.0)
+
+    def test_quota_is_at_least_one(self):
+        queue = AdmissionQueue(capacity=1, rate_per_s=0.001, tick_s=1.0)
+        assert queue.quota_per_tick == 1
+
+    def test_quota_rounds_down_fractional_rates(self):
+        assert AdmissionQueue(1, rate_per_s=2.5, tick_s=1.0).quota_per_tick == 2
+        assert AdmissionQueue(1, rate_per_s=0.5, tick_s=10.0).quota_per_tick == 5
+
+
+class TestPacing:
+    def test_within_quota_is_immediate(self):
+        queue = AdmissionQueue(capacity=10, rate_per_s=2.0, tick_s=1.0)
+        first = queue.offer(0.25, key="a")
+        second = queue.offer(0.25, key="a")
+        for slot in (first, second):
+            assert not slot.shed
+            assert slot.wait_s == 0.0
+            assert slot.admit_at == 0.25
+        assert queue.stats.immediate == 2
+        assert queue.depth == 0  # zero-wait admissions never occupy the queue
+
+    def test_beyond_quota_lands_on_later_ticks_in_arrival_order(self):
+        queue = AdmissionQueue(capacity=10, rate_per_s=2.0, tick_s=1.0)
+        queue.offer(0.25, key="a")
+        queue.offer(0.25, key="a")
+        third = queue.offer(0.25, key="a")
+        fourth = queue.offer(0.25, key="a")
+        fifth = queue.offer(0.25, key="a")
+        assert (third.admit_at, third.wait_s) == (1.0, 0.75)
+        assert (fourth.admit_at, fourth.wait_s) == (1.0, 0.75)
+        assert (fifth.admit_at, fifth.wait_s) == (2.0, 1.75)
+        assert queue.depth == 3
+        assert queue.stats.delayed == 3
+        assert queue.stats.max_depth == 3
+        assert queue.stats.max_wait_s == 1.75
+
+    def test_ticks_are_wall_aligned_not_arrival_aligned(self):
+        queue = AdmissionQueue(capacity=10, rate_per_s=1.0, tick_s=1.0)
+        queue.offer(3.7, key="a")
+        delayed = queue.offer(3.7, key="a")
+        assert delayed.admit_at == 4.0  # the next tick boundary, not now+1
+        assert delayed.wait_s == pytest.approx(0.3)
+
+    def test_idle_gap_resets_the_drain_cursor(self):
+        queue = AdmissionQueue(capacity=10, rate_per_s=1.0, tick_s=1.0)
+        queue.offer(0.0, key="a")
+        queue.offer(0.0, key="a")  # assigned to tick 1
+        late = queue.offer(50.0, key="a")  # quota of tick 50 is untouched
+        assert not late.shed and late.wait_s == 0.0
+
+    def test_shed_once_capacity_waiting(self):
+        queue = AdmissionQueue(capacity=1, rate_per_s=1.0 / 60.0, tick_s=60.0)
+        assert queue.offer(0.0, key="a").wait_s == 0.0
+        assert queue.offer(0.0, key="a").wait_s == 60.0
+        slot = queue.offer(0.0, key="a")
+        assert slot.shed
+        assert slot.depth == 1
+        assert queue.stats.shed == 1
+        assert queue.stats.shed_rate == pytest.approx(1.0 / 3.0)
+
+    def test_release_frees_a_waiting_slot(self):
+        queue = AdmissionQueue(capacity=1, rate_per_s=1.0 / 60.0, tick_s=60.0)
+        queue.offer(0.0, key="a")
+        queue.offer(0.0, key="a")
+        assert queue.offer(0.0, key="a").shed
+        queue.release()
+        assert queue.depth == 0
+        assert not queue.offer(61.0, key="a").shed
+        assert queue.stats.released == 1
+
+    def test_identical_arrivals_replay_identically(self):
+        arrivals = [(0.0, "a"), (0.0, "b"), (0.5, "a"), (2.0, "c"), (2.0, "c")]
+
+        def run():
+            queue = AdmissionQueue(capacity=2, rate_per_s=1.0, tick_s=1.0)
+            slots = [queue.offer(now, key) for now, key in arrivals]
+            queue.finalize()
+            return slots, queue.snapshot()
+
+        assert run() == run()
+
+
+class TestCohorts:
+    def test_same_tick_admissions_form_a_batch_with_coalescing(self):
+        queue = AdmissionQueue(capacity=10, rate_per_s=3.0, tick_s=1.0)
+        queue.offer(0.0, key="a")
+        queue.offer(0.0, key="a")
+        queue.offer(0.0, key="b")
+        # The fourth offer rolls the cursor to tick 1, flushing the cohort.
+        queue.offer(0.0, key="b")
+        stats = queue.stats
+        assert stats.batches == 1
+        assert stats.max_batch == 3
+        assert stats.coalesced == 1  # the second "a" rides the first's decision
+
+    def test_finalize_flushes_the_inflight_cohort(self):
+        queue = AdmissionQueue(capacity=10, rate_per_s=10.0, tick_s=1.0)
+        queue.offer(0.0, key="a")
+        queue.offer(0.0, key="a")
+        assert queue.stats.batches == 0  # still filling the first tick
+        queue.finalize()
+        assert queue.stats.batches == 1
+        assert queue.stats.max_batch == 2
+        queue.finalize()  # idempotent: nothing new to flush
+        assert queue.stats.batches == 1
+
+    def test_snapshot_carries_counters_and_live_depth(self):
+        queue = AdmissionQueue(capacity=2, rate_per_s=1.0 / 60.0, tick_s=60.0)
+        queue.offer(0.0, key="a")
+        queue.offer(0.0, key="a")
+        view = queue.snapshot()
+        assert view["offered"] == 2
+        assert view["immediate"] == 1
+        assert view["delayed"] == 1
+        assert view["depth"] == 1
+        assert view["mean_wait_s"] == 60.0
+
+    def test_empty_queue_rates_are_zero(self):
+        queue = AdmissionQueue(capacity=1)
+        assert queue.stats.mean_wait_s == 0.0
+        assert queue.stats.shed_rate == 0.0

@@ -1,0 +1,248 @@
+"""Property tests: the flash-crowd fast path is invisible in outcomes.
+
+The whole-decision memo and the load-leveling admission queue are pure
+performance machinery: with the memo on, every session record must stay
+byte-identical to a memo-off run of the same interleaving of requests,
+link flaps, server crashes and traffic shifts; with the queue on but
+under-loaded (drain quota never exhausted) the front-end must fall
+through to the exact legacy admission path; and an over-loaded queue
+must shed *deterministically* — the same arrival sequence sheds the
+same requests on every replay, because the shed set is a pure function
+of arrivals (ISSUE 6's "instead of timing out mid-decision" contract).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.service import ServiceConfig, VoDService
+from repro.network.grnet import apply_traffic_sample, build_grnet_topology
+from repro.sim.engine import Simulator
+from repro.storage.video import VideoTitle
+
+HOMES = ("U1", "U2", "U3", "U4", "U5", "U6")
+TITLES = ("m1", "m2")
+LINKS = tuple(link.name for link in build_grnet_topology().links())
+DRAIN_S = 6 * 3600.0  # sim time to let every surviving session finish
+
+
+def build_service(**overrides):
+    topology = build_grnet_topology()
+    apply_traffic_sample(topology, "8am")
+    config = ServiceConfig(
+        cluster_mb=100.0,
+        disk_count=2,
+        disk_capacity_mb=1_000.0,
+        snmp_period_s=300.0,
+        use_reported_stats=False,
+        routing_cache_size=64,
+        **overrides,
+    )
+    service = VoDService(Simulator(), topology, config)
+    service.seed_title("U4", VideoTitle("m1", size_mb=300.0, duration_s=1_800.0))
+    service.seed_title("U2", VideoTitle("m2", size_mb=200.0, duration_s=1_200.0))
+    service.start()
+    return service
+
+
+def apply_step(service, step, request_counter):
+    kind = step[0]
+    if kind == "request":
+        _, home_index, title_index = step
+        client_id = f"c{next(request_counter)}"
+        service.request_by_home(
+            HOMES[home_index % len(HOMES)],
+            TITLES[title_index % len(TITLES)],
+            client_id,
+        )
+    elif kind == "flap":
+        link = service.topology.link_named(LINKS[step[1] % len(LINKS)])
+        link.online = not link.online
+    elif kind == "crash":
+        server = service.servers[HOMES[step[1] % len(HOMES)]]
+        server.online = not server.online
+    else:  # traffic
+        _, link_index, fraction = step
+        link = service.topology.link_named(LINKS[link_index % len(LINKS)])
+        link.set_background_mbps(fraction * link.capacity_mbps)
+
+
+def run_interleaving(service, steps):
+    """Replay (gap_s, step) pairs on the sim clock, then drain sessions."""
+    counter = iter(range(1_000_000))
+    now = service.sim.now
+    for gap_s, step in steps:
+        now += gap_s
+        service.sim.run(until=now)
+        apply_step(service, step, counter)
+    service.sim.run(until=now + DRAIN_S)
+    return service
+
+
+def record_fingerprint(record):
+    """Every observable field of one session record (request ids are a
+    process-global counter, so sessions are keyed by client id)."""
+    request = record.request
+    return (
+        request.client_id,
+        request.home_uid,
+        request.title_id,
+        request.submitted_at,
+        request.status.value,
+        request.failure_reason,
+        record.startup_delay_s,
+        record.stall_s,
+        record.switch_count,
+        record.qos_violation_count,
+        record.completed_at,
+        record.retry_count,
+        record.retry_wait_s,
+        record.recovered,
+        record.admission_wait_s,
+        tuple(
+            (
+                cluster.index,
+                cluster.server_uid,
+                cluster.path_nodes,
+                cluster.rate_mbps,
+                cluster.start,
+                cluster.end,
+                cluster.size_mb,
+                cluster.switched,
+                cluster.qos_violated,
+            )
+            for cluster in record.clusters
+        ),
+    )
+
+
+def service_fingerprint(service):
+    return tuple(record_fingerprint(record) for record in service.sessions)
+
+
+steps = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=900.0, allow_nan=False),
+        st.one_of(
+            st.tuples(
+                st.just("request"),
+                st.integers(min_value=0, max_value=len(HOMES) - 1),
+                st.integers(min_value=0, max_value=len(TITLES) - 1),
+            ),
+            st.tuples(
+                st.just("flap"), st.integers(min_value=0, max_value=len(LINKS) - 1)
+            ),
+            st.tuples(
+                st.just("crash"), st.integers(min_value=0, max_value=len(HOMES) - 1)
+            ),
+            st.tuples(
+                st.just("traffic"),
+                st.integers(min_value=0, max_value=len(LINKS) - 1),
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            ),
+        ),
+    ),
+    min_size=1,
+    max_size=14,
+)
+
+
+@given(steps)
+@settings(max_examples=25, deadline=None)
+def test_decision_memo_invisible_in_session_records(interleaving):
+    plain = run_interleaving(build_service(decision_cache_size=0), interleaving)
+    memoed = run_interleaving(
+        build_service(decision_cache_size=256), interleaving
+    )
+    assert service_fingerprint(memoed) == service_fingerprint(plain)
+
+
+@given(steps)
+@settings(max_examples=25, deadline=None)
+def test_underloaded_admission_queue_is_transparent(interleaving):
+    # A drain quota far above any arrival burst: every offer lands in the
+    # current tick with zero wait, which must fall through to the exact
+    # legacy admission path.
+    plain = run_interleaving(build_service(), interleaving)
+    queued = run_interleaving(
+        build_service(
+            decision_cache_size=256,
+            admission_queue_capacity=10_000,
+            admission_rate_per_s=1e6,
+        ),
+        interleaving,
+    )
+    fingerprints = service_fingerprint(queued)
+    assert fingerprints == service_fingerprint(plain)
+    assert all(fp[14] == 0.0 for fp in fingerprints)  # admission_wait_s
+
+
+@given(steps)
+@settings(max_examples=15, deadline=None)
+def test_overloaded_admission_queue_replays_deterministically(interleaving):
+    def run_once():
+        service = run_interleaving(
+            build_service(
+                decision_cache_size=256,
+                admission_queue_capacity=2,
+                admission_rate_per_s=1.0 / 120.0,
+                admission_tick_s=60.0,
+            ),
+            interleaving,
+        )
+        shed = frozenset(
+            record.request.client_id
+            for record in service.sessions
+            if (record.request.failure_reason or "").startswith("admission-shed")
+        )
+        return service_fingerprint(service), shed, service.admission_queue.snapshot()
+
+    first_prints, first_shed, first_snapshot = run_once()
+    second_prints, second_shed, second_snapshot = run_once()
+    assert second_prints == first_prints
+    assert second_shed == first_shed
+    assert second_snapshot == first_snapshot
+
+
+def test_burst_sheds_beyond_capacity_deterministically():
+    """Deterministic pin: a same-tick burst fills the drain quota, then
+    the waiting room, then sheds — and every replay agrees on which
+    client landed where."""
+
+    def run_once():
+        service = build_service(
+            decision_cache_size=256,
+            admission_queue_capacity=3,
+            admission_rate_per_s=1.0 / 60.0,
+            admission_tick_s=60.0,
+        )
+        for i in range(8):
+            service.request_by_home("U1", "m1", f"burst{i}")
+        service.sim.run(until=DRAIN_S)
+        by_client = {
+            record.request.client_id: record for record in service.sessions
+        }
+        return service, by_client
+
+    service, by_client = run_once()
+    shed = sorted(
+        cid
+        for cid, record in by_client.items()
+        if (record.request.failure_reason or "").startswith("admission-shed")
+    )
+    delayed = sorted(
+        cid for cid, record in by_client.items() if record.admission_wait_s > 0.0
+    )
+    # Quota of the first tick admits one immediately, three wait, four shed.
+    assert delayed == ["burst1", "burst2", "burst3"]
+    assert shed == ["burst4", "burst5", "burst6", "burst7"]
+    stats = service.admission_queue.stats
+    assert stats.immediate == 1 and stats.delayed == 3 and stats.shed == 4
+
+    _, replay = run_once()
+    assert {
+        cid: (record.request.status.value, record.admission_wait_s)
+        for cid, record in replay.items()
+    } == {
+        cid: (record.request.status.value, record.admission_wait_s)
+        for cid, record in by_client.items()
+    }
