@@ -71,6 +71,74 @@ def _fast_path_config_kwargs(args: argparse.Namespace) -> dict:
     }
 
 
+def _add_telemetry_arguments(subparser: argparse.ArgumentParser) -> None:
+    """Streaming-telemetry knobs shared by run subcommands."""
+    group = subparser.add_argument_group("telemetry")
+    group.add_argument(
+        "--telemetry-out", metavar="FILE", default=None,
+        help="export the run's telemetry (manifest + rows + footer) to "
+             "FILE; JSONL by default, CSV when FILE ends in .csv.  "
+             "Enables observability for the run",
+    )
+    group.add_argument(
+        "--stream-telemetry", action="store_true",
+        help="write telemetry behind the run: spans flush on session "
+             "close and sampler rings spill when full, holding memory "
+             "O(active sessions + ring capacity); requires --telemetry-out",
+    )
+    group.add_argument(
+        "--phase-profile", action="store_true",
+        help="record wall-clock obs.phase.* histograms (VRA decide, "
+             "cache sync, admission drain, fault injection, SNMP "
+             "collection) and obs.memory.* gauges",
+    )
+
+
+def _telemetry_hook(args: argparse.Namespace, label: str):
+    """(service hook, state box) attaching a streaming sink, or (None, {}).
+
+    The hook starts a :class:`~repro.obs.stream.StreamingTelemetry` on
+    the freshly built service; the caller finishes it after the run via
+    ``box["streamer"]`` and prints the footer line.
+    """
+    if args.telemetry_out is None:
+        if args.stream_telemetry:
+            raise SystemExit("--stream-telemetry requires --telemetry-out")
+        return None, {}
+    from repro.obs.sink import open_sink
+    from repro.obs.stream import StreamingTelemetry
+
+    fmt = "csv" if args.telemetry_out.endswith(".csv") else "jsonl"
+    box: dict = {}
+
+    def hook(service) -> None:
+        sink = open_sink(args.telemetry_out, fmt)
+        streamer = StreamingTelemetry(
+            service, sink,
+            seed=args.seed, label=label, stream=args.stream_telemetry,
+        )
+        streamer.start()
+        box["streamer"] = streamer
+
+    return hook, box
+
+
+def _finish_telemetry(args: argparse.Namespace, box: dict) -> None:
+    """Drain and close the streaming sink; print the footer line."""
+    streamer = box.get("streamer")
+    if streamer is None:
+        return
+    footer = streamer.finish()
+    mode = "streamed" if args.stream_telemetry else "buffered"
+    print(
+        f"telemetry: {footer['rows_written']} rows {mode} to "
+        f"{args.telemetry_out} ({footer['rows_skipped']} skipped, "
+        f"{footer['spans_flushed']} spans flushed live, "
+        f"{footer['samples_spilled']} samples spilled, "
+        f"peak {footer['peak_resident_rows']} resident rows)"
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -128,6 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--report", action="store_true",
                           help="print per-server/link/title analysis after the run")
     _add_fast_path_arguments(simulate)
+    _add_telemetry_arguments(simulate)
 
     obs = commands.add_parser(
         "obs",
@@ -152,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="simulated seconds between telemetry samples")
     obs.add_argument("--seed", type=int, default=23)
     _add_fast_path_arguments(obs)
+    _add_telemetry_arguments(obs)
 
     chaos = commands.add_parser(
         "chaos",
@@ -186,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the report as JSON instead of text")
     chaos.add_argument("--show-faults", action="store_true",
                        help="also print the chronological fault log")
+    _add_telemetry_arguments(chaos)
 
     sweep = commands.add_parser(
         "sweep-cluster-size",
@@ -273,6 +344,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
         catalog=catalog,
     )
+    hook, telemetry_box = _telemetry_hook(args, label="simulate")
     experiment = ServiceExperiment(
         name="cli",
         scenario=scenario,
@@ -282,6 +354,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             disk_capacity_mb=args.disk_capacity_mb,
             max_streams=64,
             use_reported_stats=False,
+            observability=args.telemetry_out is not None or args.phase_profile,
+            phase_profiling=args.phase_profile,
             **_fast_path_config_kwargs(args),
         ),
         cache=args.cache,
@@ -290,10 +364,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         replay_table2=args.replay_table2,
         start_time=8 * 3600.0 if args.replay_table2 else 0.0,
         seed=args.seed,
+        service_hook=hook,
     )
     if topology_factory is not None:
         experiment.topology_factory = topology_factory
     result = run_service_experiment(experiment)
+    _finish_telemetry(args, telemetry_box)
     metrics = result.metrics
     print(f"sessions ............. {metrics.session_count}")
     print(f"completed ............ {metrics.completed_count}")
@@ -326,6 +402,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 service.admission_queue.stats, title="Admission queue"
             )
         )
+    if args.phase_profile:
+        from repro.experiments.report import render_phase_profile
+
+        print()
+        print(render_phase_profile(service.obs, title="Phase profile"))
     if args.report:
         from repro.metrics.analysis import analyze_sessions, render_analysis
 
@@ -365,6 +446,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             catalog=catalog,
         )
     tracer = Tracer(enabled=True)
+    hook, telemetry_box = _telemetry_hook(args, label=f"obs:{args.scenario}")
     experiment = ServiceExperiment(
         name="obs",
         scenario=scenario,
@@ -376,13 +458,16 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             use_reported_stats=False,
             observability=True,
             telemetry_period_s=args.sample_period,
+            phase_profiling=args.phase_profile,
             **_fast_path_config_kwargs(args),
         ),
         seed=args.seed,
         tracer=tracer,
+        service_hook=hook,
     )
     result = run_service_experiment(experiment)
     service = result.service
+    _finish_telemetry(args, telemetry_box)
 
     if args.format == "summary":
         print(
@@ -392,13 +477,21 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         )
     else:
         rows = telemetry_rows(service.obs, service.telemetry, service.spans)
-        writer = export_jsonl if args.format == "jsonl" else export_csv
         if args.out is not None:
             with open(args.out, "w", encoding="utf-8") as handle:
-                count = writer(rows, handle)
-            print(f"wrote {count} {args.format} rows to {args.out}")
+                if args.format == "jsonl":
+                    count = export_jsonl(rows, handle)
+                    print(f"wrote {count} jsonl rows to {args.out}")
+                else:
+                    written, skipped = export_csv(rows, handle)
+                    print(
+                        f"wrote {written} csv rows to {args.out} "
+                        f"({skipped} span rows skipped)"
+                    )
+        elif args.format == "jsonl":
+            export_jsonl(rows, sys.stdout)
         else:
-            writer(rows, sys.stdout)
+            export_csv(rows, sys.stdout)
 
     if args.trace_out is not None:
         with open(args.trace_out, "w", encoding="utf-8") as handle:
@@ -426,6 +519,17 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         run_resilience_experiment,
     )
 
+    config = None
+    if args.telemetry_out is not None or args.phase_profile:
+        # Telemetry needs an observability-enabled config; carry the CLI
+        # retry knobs over so behaviour matches the default-config path.
+        config = ServiceConfig(
+            retry_attempts=args.retry_attempts,
+            retry_backoff_s=args.retry_backoff,
+            observability=True,
+            phase_profiling=args.phase_profile,
+        )
+    hook, telemetry_box = _telemetry_hook(args, label="chaos")
     run = run_resilience_experiment(
         seed=args.seed,
         duration_s=args.duration_hours * 3600.0,
@@ -438,7 +542,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         mean_fault_duration_s=args.mean_fault_duration,
         retry_attempts=args.retry_attempts,
         retry_backoff_s=args.retry_backoff,
+        config=config,
+        service_hook=hook,
     )
+    _finish_telemetry(args, telemetry_box)
     report = run.report
     if args.json:
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))

@@ -58,6 +58,7 @@ from repro.network.flows import FlowManager
 from repro.network.link import STATE_CHANGE, Link
 from repro.network.node import Node
 from repro.network.topology import Topology
+from repro.obs.phase import PhaseProfiler
 from repro.obs.registry import MetricsRegistry
 from repro.obs.sampler import DEFAULT_SERIES_CAPACITY, TelemetrySampler
 from repro.obs.spans import SessionSpan
@@ -198,6 +199,14 @@ class ServiceConfig:
         telemetry_period_s: Simulated seconds between telemetry samples
             (only meaningful with ``observability=True``).
         telemetry_capacity: Ring bound per sampled time series.
+        phase_profiling: Register the phase profiler: wall-clock
+            ``obs.phase.*`` histograms around VRA decide, routing-cache
+            sync, admission drain, fault injection and SNMP collection,
+            plus ``obs.memory.*`` gauges (peak RSS, live allocated
+            blocks) sampled on the sim clock.  Wall-clock timings are
+            not replay-deterministic, so this stays off for seeded
+            equivalence runs; requires ``observability=True`` to record
+            anything.  Default off — disabled timers are shared no-ops.
     """
 
     cluster_mb: float = 64.0
@@ -229,6 +238,7 @@ class ServiceConfig:
     observability: bool = False
     telemetry_period_s: float = 60.0
     telemetry_capacity: int = DEFAULT_SERIES_CAPACITY
+    phase_profiling: bool = False
     #: Per-node hardware overrides ("we propose the use of as many disks
     #: as possible" — sites differ): node uid -> subset of
     #: {disk_count, disk_capacity_mb, max_streams}.  Unlisted nodes use
@@ -287,6 +297,15 @@ class VoDService:
         #: Per-request session spans (populated only when observability
         #: is on).
         self.spans: List[SessionSpan] = []
+        #: Phase profiler: wall-clock ``obs.phase.*`` histograms and
+        #: ``obs.memory.*`` gauges.  Hands out shared no-op timers unless
+        #: ``config.phase_profiling`` (and observability) are on.
+        self.profiler = PhaseProfiler(self.obs, enabled=self.config.phase_profiling)
+        self._t_decide = self.profiler.timer("vra_decide")
+        #: Write-behind streaming hook: called with each session span the
+        #: moment it finishes (installed by
+        #: :class:`repro.obs.stream.StreamingTelemetry`; None otherwise).
+        self.on_span_finished: Optional[Callable[[SessionSpan], None]] = None
         self.database = ServiceDatabase()
         self.flows = FlowManager(topology)
         self._subnet_map: Dict[str, str] = {}
@@ -355,6 +374,7 @@ class VoDService:
             period_s=self.config.snmp_period_s,
         )
         self.statistics.attach_metrics(self.obs)
+        self.statistics.phase_timer = self.profiler.timer("snmp_collect")
         # Live server load feeds the weights without a version counter, so
         # epoch caching cannot see those changes; fall back to recompute.
         cacheable = not self.config.use_server_load_in_vra
@@ -388,6 +408,8 @@ class VoDService:
             metrics=self.obs,
         )
         self._decision_memo_on = self.vra.decision_cache is not None
+        if self.vra.cache is not None:
+            self.vra.cache.phase_timer = self.profiler.timer("cache_sync")
         # Freshness token for the same-state replay layer: four version
         # counters covering every input a VRA decision reads — server
         # availability (poll answers), title holder lists, reported link
@@ -426,6 +448,7 @@ class VoDService:
                 tick_s=self.config.admission_tick_s,
             )
             self.admission_queue.attach_metrics(self.obs)
+            self.admission_queue.phase_timer = self.profiler.timer("admission_drain")
         #: Periodic sim-time gauge sampler (a no-op when observability is
         #: off; started alongside the SNMP collector in :meth:`start`).
         self.telemetry = TelemetrySampler(
@@ -787,59 +810,70 @@ class VoDService:
 
     def decide(self, home_uid: str, title_id: str) -> VraDecision:
         """One VRA decision for a request at ``home_uid`` (no streaming)."""
-        cache_key: Optional[Hashable] = None
-        token: Optional[Tuple[int, int, int, int]] = None
-        if self._decision_memo_on:
-            # Same-state replay: while the freshness token is unchanged,
-            # every input of this pair's previous decision (holder list,
-            # poll answers, LVN weights, topology) is provably unchanged,
-            # so the stored decision is returned without re-entering the
-            # VRA — one dict probe and one tuple compare per request.
-            token = self._freshness()
-            replay = self._decision_replay.get((home_uid, title_id))
-            if replay is not None and replay[0] == token:
-                decision = replay[1]
-                self.vra.count_replayed(decision, replay[2])
-                if self._obs_enabled:
-                    self._m_decision_latency.observe(0.0)
-                if self.tracer.enabled:
-                    self._trace_decision(home_uid, title_id, decision)
-                return decision
-            # The memo key is the promise that a cached decision's inputs
-            # are reproduced exactly: beyond the routing epoch (synced
-            # inside the VRA), each holder's poll answer is a function of
-            # its (online, title-resident, headroom-bucket) signature.
-            holders = self.database.servers_with_title(title_id)
-            cache_key = (
+        t_phase = self._t_decide.start()
+        try:
+            cache_key: Optional[Hashable] = None
+            token: Optional[Tuple[int, int, int, int]] = None
+            if self._decision_memo_on:
+                # Same-state replay: while the freshness token is unchanged,
+                # every input of this pair's previous decision (holder list,
+                # poll answers, LVN weights, topology) is provably unchanged,
+                # so the stored decision is returned without re-entering the
+                # VRA — one dict probe and one tuple compare per request.
+                token = self._freshness()
+                replay = self._decision_replay.get((home_uid, title_id))
+                if replay is not None and replay[0] == token:
+                    decision = replay[1]
+                    self.vra.count_replayed(decision, replay[2])
+                    if self._obs_enabled:
+                        self._m_decision_latency.observe(0.0)
+                    if self.tracer.enabled:
+                        self._trace_decision(home_uid, title_id, decision)
+                    return decision
+                # The memo key is the promise that a cached decision's inputs
+                # are reproduced exactly: beyond the routing epoch (synced
+                # inside the VRA), each holder's poll answer is a function of
+                # its (online, title-resident, headroom-bucket) signature.
+                holders = self.database.servers_with_title(title_id)
+                cache_key = (
+                    home_uid,
+                    title_id,
+                    frozenset(self._holder_signature(uid, title_id) for uid in holders),
+                    self.qos_class_of(title_id) if self.qos_class_of is not None else None,
+                )
+            else:
+                holders = self.database.servers_with_title(title_id)
+            started = perf_counter() if self._obs_enabled else 0.0
+            decision = self.vra.decide(
                 home_uid,
                 title_id,
-                frozenset(self._holder_signature(uid, title_id) for uid in holders),
-                self.qos_class_of(title_id) if self.qos_class_of is not None else None,
+                holders,
+                poll=lambda uid: self.servers[uid].can_provide(title_id),
+                cache_key=cache_key,
             )
-        else:
-            holders = self.database.servers_with_title(title_id)
-        started = perf_counter() if self._obs_enabled else 0.0
-        decision = self.vra.decide(
-            home_uid,
-            title_id,
-            holders,
-            poll=lambda uid: self.servers[uid].can_provide(title_id),
-            cache_key=cache_key,
-        )
-        if self._obs_enabled:
-            self._m_decision_latency.observe((perf_counter() - started) * 1e3)
-        if token is not None:
-            # Arm the replay layer.  The candidate count comes from the
-            # VRA's memo entry (just stored or refreshed) so a replayed
-            # request lands the exact histogram sample a cold run would.
-            entry = self.vra.decision_cache.peek(cache_key)
-            if entry is not None:
-                self._decision_replay[(home_uid, title_id)] = (
-                    token, decision, entry.candidate_count
-                )
-        if self.tracer.enabled:
-            self._trace_decision(home_uid, title_id, decision)
-        return decision
+            if self._obs_enabled:
+                self._m_decision_latency.observe((perf_counter() - started) * 1e3)
+            if token is not None:
+                # Arm the replay layer.  The candidate count comes from the
+                # VRA's memo entry (just stored or refreshed) so a replayed
+                # request lands the exact histogram sample a cold run would.
+                entry = self.vra.decision_cache.peek(cache_key)
+                if entry is not None:
+                    self._decision_replay[(home_uid, title_id)] = (
+                        token, decision, entry.candidate_count
+                    )
+            if self.tracer.enabled:
+                self._trace_decision(home_uid, title_id, decision)
+            return decision
+
+        finally:
+            self._t_decide.stop(t_phase)
+
+    def _close_span(self, span: SessionSpan, status: str) -> None:
+        """Finish a span and hand it to the streaming hook, if installed."""
+        span.finish(self.sim.now, status)
+        if self.on_span_finished is not None:
+            self.on_span_finished(span)
 
     def _trace_decision(
         self, home_uid: str, title_id: str, decision: VraDecision
@@ -1242,7 +1276,7 @@ class VoDService:
         )
         self._m_blocked.inc()
         if span is not None:
-            span.finish(self.sim.now, request.status.value)
+            self._close_span(span, request.status.value)
         self.tracer.record(
             self.sim.now,
             "request.blocked",
@@ -1368,7 +1402,7 @@ class VoDService:
             f"admission-shed: queue full ({slot.depth} waiting)"
         )
         if span is not None:
-            span.finish(self.sim.now, request.status.value)
+            self._close_span(span, request.status.value)
         self.tracer.record(
             self.sim.now,
             "request.shed",
@@ -1446,7 +1480,7 @@ class VoDService:
         else:
             self._m_failed.inc()
         if span is not None:
-            span.finish(self.sim.now, record.request.status.value)
+            self._close_span(span, record.request.status.value)
         self.tracer.record(
             self.sim.now,
             "session.finished",

@@ -71,6 +71,10 @@ class ServiceExperiment:
             Table 2 replays).
         tracer: Optional structured event trace handed to the service
             (the obs CLI passes an enabled one so spans land somewhere).
+        service_hook: Optional callable invoked with the freshly built
+            service before it starts — the CLI uses it to attach a
+            streaming telemetry sink; fault/chaos tooling can use it to
+            attach injectors.
     """
 
     name: str
@@ -86,6 +90,7 @@ class ServiceExperiment:
     seed: int = 0
     start_time: float = 0.0
     tracer: Optional[Tracer] = None
+    service_hook: Optional[Callable[[VoDService], None]] = None
 
 
 @dataclass
@@ -172,6 +177,8 @@ def run_service_experiment(experiment: ServiceExperiment) -> SweepResult:
     """Run one experiment end to end and summarise it."""
     service = build_service(experiment)
     sim = service.sim
+    if experiment.service_hook is not None:
+        experiment.service_hook(service)
 
     if experiment.replay_table2:
         Table2Replayer(sim, service.topology).start()

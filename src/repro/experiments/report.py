@@ -179,6 +179,39 @@ def render_admission_queue(
     return render_table(headers, rows, title=caption)
 
 
+def render_phase_profile(registry, title: str = "") -> str:
+    """Phase-profiler table (obs.phase.* / obs.memory.*) for reports.
+
+    Args:
+        registry: A :class:`~repro.obs.registry.MetricsRegistry`; renders
+            a "profiling off" stub when no phase histograms recorded.
+        title: Table caption; defaults to a generic one.
+    """
+    caption = title or "Phase profile — wall-clock time per subsystem"
+    phases = [
+        h for h in registry.histograms()
+        if h.name.startswith("obs.phase.") and h.count > 0
+    ]
+    if not phases:
+        return f"{caption}\n(phase profiling disabled)"
+    headers = ["Phase", "Calls", "Total ms", "Mean ms", "p95 ms", "Max ms"]
+    rows = []
+    for histogram in sorted(phases, key=lambda h: -h.total):
+        summary = histogram.summary()
+        rows.append([
+            histogram.name[len("obs.phase."):].replace("_ms", ""),
+            f"{summary['count']:g}",
+            f"{histogram.total:.2f}",
+            f"{summary['mean']:.4f}",
+            f"{summary['p95']:.4f}",
+            f"{summary['max']:.4f}",
+        ])
+    for gauge in registry.gauges():
+        if gauge.name.startswith("obs.memory."):
+            rows.append([gauge.name, "-", "-", "-", "-", f"{gauge.value:g}"])
+    return render_table(headers, rows, title=caption)
+
+
 def render_dijkstra_trace(
     steps: Sequence[DijkstraStep],
     destinations: Sequence[str],

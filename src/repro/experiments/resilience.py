@@ -103,6 +103,7 @@ def run_resilience_experiment(
     topology_factory: Callable[[], Topology] = build_grnet_topology,
     tracer: Optional[Tracer] = None,
     name: str = "resilience",
+    service_hook: Optional[Callable[..., None]] = None,
 ) -> ResilienceRun:
     """Run one seeded chaos experiment end to end.
 
@@ -131,6 +132,9 @@ def run_resilience_experiment(
         topology_factory: Builds the network (defaults to GRNET).
         tracer: Optional structured trace handed to the service.
         name: Report label.
+        service_hook: Optional callable invoked with the freshly built
+            service before it starts (e.g. to attach a streaming
+            telemetry sink).
 
     Returns:
         The :class:`ResilienceRun` with the deterministic report.
@@ -174,6 +178,8 @@ def run_resilience_experiment(
         tracer=tracer,
     )
     service = build_service(experiment)
+    if service_hook is not None:
+        service_hook(service)
     sim = service.sim
     injector = FaultInjector(service, schedule)
     service.start()

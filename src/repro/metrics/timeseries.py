@@ -7,7 +7,7 @@ is the right mean for utilisation-style metrics.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import ReproError
 
@@ -20,15 +20,25 @@ class TimeSeries:
         capacity: Optional ring bound — keep at most this many samples,
             dropping the oldest first (the telemetry sampler uses this so
             long runs stay bounded).  None keeps everything.
+        on_drop: Optional callback invoked with the (times, values) lists
+            about to be evicted by the capacity bound, letting a streaming
+            sink spill them instead of losing them.  Dropped samples are
+            still counted in :attr:`dropped_count`.
     """
 
-    def __init__(self, name: str = "", capacity: Optional[int] = None):
+    def __init__(
+        self,
+        name: str = "",
+        capacity: Optional[int] = None,
+        on_drop: Optional[Callable[[List[float], List[float]], None]] = None,
+    ):
         if capacity is not None and capacity < 1:
             raise ReproError(
                 f"time series {name!r}: capacity must be >= 1, got {capacity!r}"
             )
         self.name = name
         self.capacity = capacity
+        self.on_drop = on_drop
         self._times: List[float] = []
         self._values: List[float] = []
         self._dropped = 0
@@ -56,6 +66,8 @@ class TimeSeries:
         self._values.append(float(value))
         if self.capacity is not None and len(self._times) > self.capacity:
             overflow = len(self._times) - self.capacity
+            if self.on_drop is not None:
+                self.on_drop(self._times[:overflow], self._values[:overflow])
             del self._times[:overflow]
             del self._values[:overflow]
             self._dropped += overflow

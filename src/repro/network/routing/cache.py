@@ -45,6 +45,7 @@ from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.network.routing.dijkstra import DijkstraResult, LinkDelta, tree_unaffected
+from repro.obs.phase import NO_PHASE_TIMER, PhaseTimer
 from repro.obs.registry import NULL_COUNTER, Counter, MetricsRegistry
 
 #: Default LRU bound on cached Dijkstra trees (one per home server is the
@@ -195,6 +196,9 @@ class RoutingCache:
     _m_partial: Counter = field(default=NULL_COUNTER, repr=False, compare=False)
     _m_dirty: Counter = field(default=NULL_COUNTER, repr=False, compare=False)
     _m_repaired: Counter = field(default=NULL_COUNTER, repr=False, compare=False)
+    #: Wall-clock timer around epoch transitions (obs.phase.cache_sync_ms);
+    #: the service swaps in a live timer when phase profiling is on.
+    phase_timer: PhaseTimer = field(default=NO_PHASE_TIMER, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.max_trees < 0:
@@ -280,6 +284,13 @@ class RoutingCache:
         """
         if epoch == self._epoch:
             return None
+        t_phase = self.phase_timer.start()
+        try:
+            return self._sync_changed(epoch)
+        finally:
+            self.phase_timer.stop(t_phase)
+
+    def _sync_changed(self, epoch: Hashable) -> EpochTransition:
         if self._epoch is not None and self.delta_probe is not None:
             patched = self.delta_probe()
             if patched is not None:

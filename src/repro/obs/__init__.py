@@ -40,7 +40,15 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         summarize_telemetry,
         telemetry_rows,
     )
+    from repro.obs.phase import NO_PHASE_TIMER, PhaseProfiler, PhaseTimer
     from repro.obs.sampler import TelemetrySampler
+    from repro.obs.sink import (
+        CsvTelemetrySink,
+        JsonlTelemetrySink,
+        TelemetrySink,
+        open_sink,
+    )
+    from repro.obs.stream import StreamingTelemetry, run_manifest
 
 # The sampler (and through it the export module) depends on
 # repro.metrics, whose package init reaches back into repro.core — a
@@ -53,6 +61,15 @@ _LAZY = {
     "export_jsonl": "repro.obs.export",
     "summarize_telemetry": "repro.obs.export",
     "telemetry_rows": "repro.obs.export",
+    "NO_PHASE_TIMER": "repro.obs.phase",
+    "PhaseProfiler": "repro.obs.phase",
+    "PhaseTimer": "repro.obs.phase",
+    "CsvTelemetrySink": "repro.obs.sink",
+    "JsonlTelemetrySink": "repro.obs.sink",
+    "TelemetrySink": "repro.obs.sink",
+    "open_sink": "repro.obs.sink",
+    "StreamingTelemetry": "repro.obs.stream",
+    "run_manifest": "repro.obs.stream",
 }
 
 
@@ -71,17 +88,26 @@ def __dir__():
 
 __all__ = [
     "Counter",
+    "CsvTelemetrySink",
     "Gauge",
     "Histogram",
+    "JsonlTelemetrySink",
     "MetricsRegistry",
+    "NO_PHASE_TIMER",
     "NULL_COUNTER",
     "NULL_GAUGE",
     "NULL_HISTOGRAM",
+    "PhaseProfiler",
+    "PhaseTimer",
     "SessionSpan",
     "SpanEvent",
+    "StreamingTelemetry",
     "TelemetrySampler",
+    "TelemetrySink",
     "export_csv",
     "export_jsonl",
+    "open_sink",
+    "run_manifest",
     "summarize_telemetry",
     "telemetry_rows",
 ]

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import csv
 import json
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, TextIO
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, TextIO, Tuple
 
 from repro.obs.registry import MetricsRegistry
 from repro.obs.sampler import TelemetrySampler
@@ -72,36 +72,62 @@ def export_jsonl(rows: Iterable[Dict[str, object]], out: TextIO) -> int:
     return count
 
 
-def export_csv(rows: Iterable[Dict[str, object]], out: TextIO) -> int:
-    """Write ``sample`` rows as CSV (kind,name,labels,time,value).
+#: Flat CSV schema shared by :func:`export_csv` and the streaming CSV sink.
+#: ``value`` is the headline (sample value, counter total, histogram mean);
+#: the distribution columns are only filled for histogram rows.
+CSV_FIELDS = ["kind", "name", "labels", "time", "value", "count", "mean", "p50", "p95", "max"]
 
-    Non-sample rows (counter totals, histogram summaries, spans) carry
-    nested payloads that do not fit a flat table; they are flattened to
-    their headline value or skipped (spans).
+
+def csv_record(row: Dict[str, object]) -> Optional[List[object]]:
+    """Flatten one telemetry row to the :data:`CSV_FIELDS` column list.
+
+    Returns None for rows that do not fit the flat table (spans and the
+    manifest/footer control rows) so callers can count them as skipped.
+    """
+    kind = row.get("kind")
+    labels = ";".join(f"{k}={v}" for k, v in sorted(dict(row.get("labels", {})).items()))
+    if kind == "sample":
+        return [kind, row["name"], labels, row["time"], row["value"], "", "", "", "", ""]
+    if kind == "counter":
+        return [kind, row["name"], labels, "", row["value"], "", "", "", "", ""]
+    if kind == "histogram":
+        return [
+            kind,
+            row["name"],
+            labels,
+            "",
+            row.get("mean", 0.0),
+            row.get("count", 0),
+            row.get("mean", 0.0),
+            row.get("p50", 0.0),
+            row.get("p95", 0.0),
+            row.get("max", 0.0),
+        ]
+    return None
+
+
+def export_csv(rows: Iterable[Dict[str, object]], out: TextIO) -> Tuple[int, int]:
+    """Write flat telemetry rows as CSV (see :data:`CSV_FIELDS`).
+
+    Samples keep their time/value; counters their total; histograms carry
+    count/mean/p50/p95/max distribution columns.  Span rows (nested event
+    payloads) do not fit a flat table and are skipped — but counted.
 
     Returns:
-        The number of data rows written.
+        ``(written, skipped)`` — data rows written vs. rows skipped.
     """
     writer = csv.writer(out)
-    writer.writerow(["kind", "name", "labels", "time", "value"])
-    count = 0
+    writer.writerow(CSV_FIELDS)
+    written = 0
+    skipped = 0
     for row in rows:
-        kind = row.get("kind")
-        if kind == "span":
+        record = csv_record(row)
+        if record is None:
+            skipped += 1
             continue
-        labels = ";".join(f"{k}={v}" for k, v in sorted(dict(row.get("labels", {})).items()))
-        if kind == "sample":
-            value = row["value"]
-            time = row["time"]
-        elif kind == "counter":
-            value, time = row["value"], ""
-        elif kind == "histogram":
-            value, time = row.get("mean", 0.0), ""
-        else:
-            continue
-        writer.writerow([kind, row["name"], labels, time, value])
-        count += 1
-    return count
+        writer.writerow(record)
+        written += 1
+    return written, skipped
 
 
 def summarize_telemetry(
@@ -146,6 +172,20 @@ def summarize_telemetry(
                 f"  {histogram.name:<34} n={s['count']:<6g} mean={s['mean']:.3f} "
                 f"p95={s['p95']:.3f} max={s['max']:.3f}"
             )
+
+    phases = [h for h in registry.histograms() if h.name.startswith("obs.phase.") and h.count > 0]
+    if phases:
+        lines.append("phase profile (wall-clock ms per call):")
+        for histogram in sorted(phases, key=lambda h: -h.total):
+            s = histogram.summary()
+            name = histogram.name[len("obs.phase."):]
+            lines.append(
+                f"  {name:<24} n={s['count']:<7g} total={histogram.total:9.2f} ms  "
+                f"mean={s['mean']:.4f} p95={s['p95']:.4f}"
+            )
+        for gauge in registry.gauges():
+            if gauge.name.startswith("obs.memory."):
+                lines.append(f"  {gauge.name:<24} {gauge.value:12g}")
 
     if sampler is not None:
         hottest = _hottest_series(sampler, "link.utilization", top)

@@ -1,0 +1,149 @@
+"""Phase profiler: wall-clock histograms and memory gauges per subsystem.
+
+The profiler hands out :class:`PhaseTimer` objects, one per named phase
+(VRA decide, cache sync, admission drain, fault injection, SNMP
+collection).  Each timer feeds an ``obs.phase.<name>_ms`` histogram in
+the run's :class:`~repro.obs.registry.MetricsRegistry`; a disabled
+profiler hands out the shared :data:`NO_PHASE_TIMER` singleton so the
+instrumented hot paths never branch.
+
+Enabling the profiler also registers two memory gauges sampled on the
+sim clock by the telemetry sampler:
+
+``obs.memory.peak_rss_kb``
+    Peak resident set size of the process (KiB, via ``getrusage``).
+``obs.memory.allocated_blocks``
+    Live interpreter-allocated memory blocks
+    (``sys.getallocatedblocks()``) — a proxy for live-object growth.
+
+Phase timings are wall-clock and therefore *not* replay-deterministic;
+the knob (``ServiceConfig.phase_profiling``) defaults off, and seeded
+equivalence tests keep it off.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict
+
+from repro.obs.registry import Histogram, MetricsRegistry, NULL_HISTOGRAM
+
+try:  # pragma: no cover - always present on POSIX
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    resource = None  # type: ignore[assignment]
+
+#: The phases the service instruments (histogram family is
+#: ``obs.phase.<phase>_ms``).
+PHASES = ("vra_decide", "cache_sync", "admission_drain", "fault_inject", "snmp_collect")
+
+
+def peak_rss_kb() -> float:
+    """Peak resident set size of this process in KiB (0.0 if unknown)."""
+    if resource is None:
+        return 0.0
+    peak = float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    if sys.platform == "darwin":  # ru_maxrss is bytes on macOS, KiB on Linux
+        peak /= 1024.0
+    return peak
+
+
+def allocated_blocks() -> float:
+    """Live interpreter-allocated memory blocks."""
+    return float(sys.getallocatedblocks())
+
+
+class PhaseTimer:
+    """Hot-path wall-clock timer feeding one ``obs.phase.*`` histogram.
+
+    Usage is explicit start/stop so instrumented code can wrap early
+    returns with ``try/finally`` without allocating a context manager
+    per call::
+
+        t0 = timer.start()
+        try:
+            ...
+        finally:
+            timer.stop(t0)
+    """
+
+    __slots__ = ("_histogram",)
+
+    enabled = True
+
+    def __init__(self, histogram: Histogram):
+        self._histogram = histogram
+
+    def start(self) -> float:
+        """Begin timing; returns the token to pass to :meth:`stop`."""
+        return time.perf_counter()
+
+    def stop(self, started: float) -> None:
+        """Record the elapsed milliseconds since ``started``."""
+        self._histogram.observe((time.perf_counter() - started) * 1000.0)
+
+
+class _NullPhaseTimer(PhaseTimer):
+    """Shared do-nothing timer handed out by disabled profilers."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(NULL_HISTOGRAM)
+
+    def start(self) -> float:  # noqa: D102 - hot no-op
+        return 0.0
+
+    def stop(self, started: float) -> None:  # noqa: D102 - hot no-op
+        pass
+
+
+#: The singleton every disabled profiler hands out.
+NO_PHASE_TIMER = _NullPhaseTimer()
+
+
+class PhaseProfiler:
+    """Get-or-create factory for phase timers plus memory gauges.
+
+    Args:
+        registry: The run's instrument registry.  A disabled registry
+            forces a disabled profiler regardless of ``enabled``.
+        enabled: When False every :meth:`timer` call returns
+            :data:`NO_PHASE_TIMER` and no gauges are registered.
+    """
+
+    def __init__(self, registry: MetricsRegistry, enabled: bool = True):
+        self.enabled = bool(enabled) and registry.enabled
+        self._registry = registry
+        self._timers: Dict[str, PhaseTimer] = {}
+        if self.enabled:
+            registry.gauge(
+                "obs.memory.peak_rss_kb",
+                subsystem="obs",
+                description="peak resident set size of the process (KiB)",
+                callback=peak_rss_kb,
+            )
+            registry.gauge(
+                "obs.memory.allocated_blocks",
+                subsystem="obs",
+                description="live interpreter-allocated memory blocks",
+                callback=allocated_blocks,
+            )
+
+    def timer(self, phase: str) -> PhaseTimer:
+        """The timer for one phase (the shared no-op when disabled)."""
+        if not self.enabled:
+            return NO_PHASE_TIMER
+        timer = self._timers.get(phase)
+        if timer is None:
+            histogram = self._registry.histogram(
+                f"obs.phase.{phase}_ms",
+                subsystem="obs",
+                description=f"wall-clock milliseconds per {phase} phase call",
+            )
+            timer = PhaseTimer(histogram)
+            self._timers[phase] = timer
+        return timer

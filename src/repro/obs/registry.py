@@ -131,7 +131,7 @@ class Histogram(Instrument):
     percentile summaries stay cheap and bounded on long runs.
     """
 
-    __slots__ = ("count", "total", "min", "max", "_ring", "_ring_size", "_ring_pos")
+    __slots__ = ("count", "total", "min", "max", "_ring", "_ring_size", "_ring_pos", "_sorted")
 
     kind = "histogram"
 
@@ -153,6 +153,7 @@ class Histogram(Instrument):
         self._ring: List[float] = []
         self._ring_size = ring_size
         self._ring_pos = 0
+        self._sorted: Optional[List[float]] = None
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -168,6 +169,7 @@ class Histogram(Instrument):
         else:
             self._ring[self._ring_pos] = value
             self._ring_pos = (self._ring_pos + 1) % self._ring_size
+        self._sorted = None
 
     @property
     def mean(self) -> float:
@@ -175,10 +177,17 @@ class Histogram(Instrument):
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile over the retained ring (0.0 when empty)."""
+        """Nearest-rank percentile over the retained ring (0.0 when empty).
+
+        The sorted ring is cached between observations, so rendering a
+        summary with several percentiles sorts at most once per
+        ``observe()``.
+        """
         if not self._ring:
             return 0.0
-        ordered = sorted(self._ring)
+        ordered = self._sorted
+        if ordered is None:
+            ordered = self._sorted = sorted(self._ring)
         rank = max(int(len(ordered) * p / 100.0 + 0.999999) - 1, 0)
         return ordered[min(rank, len(ordered) - 1)]
 

@@ -13,7 +13,7 @@ speed.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.metrics.timeseries import TimeSeries
@@ -31,6 +31,9 @@ DEFAULT_SERIES_CAPACITY = 1440
 
 #: A series is keyed by its instrument's (family name, frozen labels).
 SeriesKey = Tuple[str, LabelSet]
+
+#: Spill callback signature: (family name, labels, dropped times, values).
+SpillCallback = Callable[[str, Dict[str, str], List[float], List[float]], None]
 
 
 class TelemetrySampler:
@@ -61,6 +64,7 @@ class TelemetrySampler:
         self._capacity = capacity
         self._sample_counters = sample_counters
         self._series: Dict[SeriesKey, TimeSeries] = {}
+        self._spill: Optional[SpillCallback] = None
         self._task = PeriodicTask(sim, period_s, self.sample, name="telemetry")
 
     @property
@@ -89,6 +93,18 @@ class TelemetrySampler:
         if self._task.running:
             self._task.stop()
 
+    def set_spill(self, callback: Optional[SpillCallback]) -> None:
+        """Route ring overflow to ``callback`` instead of discarding it.
+
+        The callback receives ``(family, labels, times, values)`` for every
+        batch of samples the capacity bound is about to evict — for every
+        existing series and every series created later.  Pass None to
+        restore the default drop-oldest behaviour.
+        """
+        self._spill = callback
+        for (name, labels), series in self._series.items():
+            series.on_drop = self._spill_hook(name, labels) if callback else None
+
     # ------------------------------------------------------------------ #
     # sampling
     # ------------------------------------------------------------------ #
@@ -110,8 +126,19 @@ class TelemetrySampler:
                 name=f"{instrument.name}{{{label_text}}}" if label_text else instrument.name,
                 capacity=self._capacity,
             )
+            if self._spill is not None:
+                series.on_drop = self._spill_hook(key[0], key[1])
             self._series[key] = series
         return series
+
+    def _spill_hook(self, name: str, labels: LabelSet):
+        label_dict = dict(labels)
+
+        def hook(times: List[float], values: List[float]) -> None:
+            if self._spill is not None:
+                self._spill(name, label_dict, times, values)
+
+        return hook
 
     # ------------------------------------------------------------------ #
     # access
@@ -119,6 +146,10 @@ class TelemetrySampler:
     def series(self) -> Dict[SeriesKey, TimeSeries]:
         """Every recorded series, keyed by (family name, frozen labels)."""
         return dict(self._series)
+
+    def resident_samples(self) -> int:
+        """Samples currently held in rings (the sampler's live footprint)."""
+        return sum(len(series) for series in self._series.values())
 
     def series_for(self, name: str) -> List[Tuple[Dict[str, str], TimeSeries]]:
         """All series of one family as (labels, series) pairs, sorted."""

@@ -19,6 +19,7 @@ from repro.database.access import DatabaseHandle
 from repro.database.records import LinkStats
 from repro.errors import SnmpError
 from repro.network.topology import Topology
+from repro.obs.phase import NO_PHASE_TIMER
 from repro.obs.registry import NULL_COUNTER, MetricsRegistry
 from repro.sim.engine import Simulator
 from repro.sim.timers import PeriodicTask
@@ -121,6 +122,10 @@ class StatisticsService:
         #: Collection rounds skipped because a blackout was active.
         self.blackout_skips = 0
         self._m_rounds = NULL_COUNTER
+        #: Wall-clock timer around one collection round
+        #: (obs.phase.snmp_collect_ms); the service swaps in a live
+        #: timer when phase profiling is on.
+        self.phase_timer = NO_PHASE_TIMER
         self._m_samples = NULL_COUNTER
         self._m_changed = NULL_COUNTER
         self._m_blackout_skips = NULL_COUNTER
@@ -202,9 +207,13 @@ class StatisticsService:
             self.blackout_skips += 1
             self._m_blackout_skips.inc()
             return
-        now = self._sim.now
-        self._m_rounds.inc()
-        for module in self._modules:
-            changed_before = module.changed_samples
-            self._m_samples.inc(len(module.collect(now)))
-            self._m_changed.inc(module.changed_samples - changed_before)
+        t_phase = self.phase_timer.start()
+        try:
+            now = self._sim.now
+            self._m_rounds.inc()
+            for module in self._modules:
+                changed_before = module.changed_samples
+                self._m_samples.inc(len(module.collect(now)))
+                self._m_changed.inc(module.changed_samples - changed_before)
+        finally:
+            self.phase_timer.stop(t_phase)

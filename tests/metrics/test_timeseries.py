@@ -22,6 +22,21 @@ class TestCapacity:
         assert len(series) == 100
         assert series.dropped_count == 0
 
+    def test_on_drop_spills_evicted_samples_in_order(self):
+        spilled = []
+        series = TimeSeries(
+            "t",
+            capacity=2,
+            on_drop=lambda times, values: spilled.append((list(times), list(values))),
+        )
+        series.record(0.0, 1.0)
+        series.record(1.0, 2.0)
+        assert spilled == []  # nothing spilled until the ring overflows
+        series.record(2.0, 3.0)
+        assert spilled == [([0.0], [1.0])]
+        assert series.dropped_count == 1
+        assert series.samples() == [(1.0, 2.0), (2.0, 3.0)]
+
     def test_invalid_capacity_rejected(self):
         with pytest.raises(ReproError):
             TimeSeries(capacity=0)

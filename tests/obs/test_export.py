@@ -5,6 +5,7 @@ import io
 import json
 
 from repro.obs.export import (
+    CSV_FIELDS,
     export_csv,
     export_jsonl,
     summarize_telemetry,
@@ -72,18 +73,47 @@ class TestJsonl:
 
 
 class TestCsv:
-    def test_header_and_span_skipping(self):
+    def test_header_and_span_accounting(self):
         registry, sampler, spans = make_run()
         out = io.StringIO()
-        count = export_csv(telemetry_rows(registry, sampler, spans), out)
+        written, skipped = export_csv(telemetry_rows(registry, sampler, spans), out)
         rows = list(csv.reader(io.StringIO(out.getvalue())))
-        assert rows[0] == ["kind", "name", "labels", "time", "value"]
-        assert len(rows) - 1 == count
+        assert rows[0] == CSV_FIELDS
+        assert rows[0][:5] == ["kind", "name", "labels", "time", "value"]
+        assert len(rows) - 1 == written
+        assert skipped == 1  # the span row does not fit the flat table
         kinds = {row[0] for row in rows[1:]}
         assert "span" not in kinds
         assert {"sample", "counter", "histogram"} <= kinds
         sample = next(row for row in rows[1:] if row[0] == "sample")
         assert sample[2] == "link=a-b"
+
+    def test_histogram_distribution_columns(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("vra.decision_latency_ms")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(value)
+        out = io.StringIO()
+        written, skipped = export_csv(telemetry_rows(registry), out)
+        assert (written, skipped) == (1, 0)
+        rows = list(csv.DictReader(io.StringIO(out.getvalue())))
+        row = rows[0]
+        assert row["kind"] == "histogram"
+        assert float(row["count"]) == 4
+        assert float(row["mean"]) == 2.5
+        assert float(row["value"]) == 2.5  # headline column mirrors the mean
+        assert float(row["p50"]) == 2.0
+        assert float(row["p95"]) == 4.0
+        assert float(row["max"]) == 4.0
+        # Non-histogram rows leave the distribution columns empty.
+        registry.counter("c").inc()
+        out = io.StringIO()
+        export_csv(telemetry_rows(registry), out)
+        counter_row = next(
+            r for r in csv.DictReader(io.StringIO(out.getvalue())) if r["kind"] == "counter"
+        )
+        assert counter_row["count"] == ""
+        assert counter_row["p95"] == ""
 
 
 class TestSummary:

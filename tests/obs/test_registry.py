@@ -83,6 +83,24 @@ class TestHistogram:
         with pytest.raises(ReproError):
             Histogram("h", ring_size=0)
 
+    def test_percentile_caches_sorted_ring_until_next_observe(self):
+        hist = Histogram("h")
+        for v in (5.0, 1.0, 3.0):
+            hist.observe(v)
+        assert hist._sorted is None  # nothing cached before the first query
+        assert hist.percentile(50.0) == 3.0
+        cached = hist._sorted
+        assert cached == [1.0, 3.0, 5.0]
+        # Repeated percentile calls (e.g. one summary() rendering several
+        # quantiles) reuse the same sorted list — no re-sort.
+        assert hist.percentile(95.0) == 5.0
+        assert hist._sorted is cached
+        # A new observation invalidates the cache and the next query
+        # reflects it.
+        hist.observe(0.5)
+        assert hist._sorted is None
+        assert hist.percentile(0.0) == 0.5
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_instrument(self):

@@ -226,7 +226,7 @@ class TestObs:
     def test_csv_export_has_header_and_rows(self, capsys):
         assert main(self.FAST + ["--format", "csv"]) == 0
         lines = capsys.readouterr().out.splitlines()
-        assert lines[0] == "kind,name,labels,time,value"
+        assert lines[0] == "kind,name,labels,time,value,count,mean,p50,p95,max"
         assert len(lines) > 10
 
     def test_timeline_renders_sparklines(self, capsys):
