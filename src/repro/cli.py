@@ -59,6 +59,13 @@ def _add_fast_path_arguments(subparser: argparse.ArgumentParser) -> None:
         "--admission-tick", type=float, default=1.0, metavar="S",
         help="admission-queue drain-tick width in simulated seconds",
     )
+    group.add_argument(
+        "--no-compiled-routing", action="store_true",
+        help="price decisions with the per-link python loops instead of "
+             "the array-compiled topology snapshot; decisions are "
+             "bit-for-bit identical either way, only slower on cache "
+             "misses (see DESIGN.md on the compiled-snapshot contract)",
+    )
 
 
 def _fast_path_config_kwargs(args: argparse.Namespace) -> dict:
@@ -68,6 +75,7 @@ def _fast_path_config_kwargs(args: argparse.Namespace) -> dict:
         "admission_queue_capacity": args.admission_queue_capacity,
         "admission_rate_per_s": args.admission_rate,
         "admission_tick_s": args.admission_tick,
+        "compiled_routing": not args.no_compiled_routing,
     }
 
 

@@ -26,7 +26,7 @@ supported here; the VRA falls back to cold recomputes when it is active.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.lvn import (
     DEFAULT_NORMALIZATION_CONSTANT,
@@ -37,6 +37,9 @@ from repro.core.lvn import (
 )
 from repro.network.routing.dijkstra import LinkDelta
 from repro.network.topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.compiled import TopologySnapshot
 
 #: (used_mbps, online) snapshot of one link, as seen through ``used_of``.
 _LinkState = Tuple[float, bool]
@@ -51,6 +54,13 @@ class IncrementalLvnTable:
             :func:`~repro.core.lvn.weight_table`, so both paths read
             identical inputs.
         normalization_constant: The paper's K (eq. 4).
+        snapshot: Optional compiled
+            :class:`~repro.network.compiled.TopologySnapshot`.  When given,
+            cold rebuilds run the array kernel instead of the per-link
+            python loops; patches stay python-side either way.  Safe
+            because the compiled kernel is bit-for-bit identical to
+            :func:`~repro.core.lvn.weight_table_with_nv` — the base the
+            patches build on is the same table whichever path produced it.
     """
 
     def __init__(
@@ -58,10 +68,12 @@ class IncrementalLvnTable:
         topology: Topology,
         used_of: Optional[UsedBandwidthFn] = None,
         normalization_constant: float = DEFAULT_NORMALIZATION_CONSTANT,
+        snapshot: Optional["TopologySnapshot"] = None,
     ):
         self._topology = topology
         self._used_of = used_of
         self._k = normalization_constant
+        self._snapshot = snapshot
         self._table: Optional[Dict[str, float]] = None
         self._nv: Dict[str, float] = {}
         self._link_state: Dict[str, _LinkState] = {}
@@ -80,9 +92,14 @@ class IncrementalLvnTable:
 
         Routed through :func:`~repro.core.lvn.weight_table_with_nv` — the
         exact function the non-incremental path calls — so the base the
-        patches build on is the cold result by construction.
+        patches build on is the cold result by construction.  With a
+        compiled snapshot attached, the array kernel substitutes for it;
+        its output is pinned bit-identical by the equivalence properties.
         """
-        table, nv = weight_table_with_nv(self._topology, self._used_of, self._k)
+        if self._snapshot is not None:
+            table, nv = self._snapshot.weight_table_with_nv(self._used_of, self._k)
+        else:
+            table, nv = weight_table_with_nv(self._topology, self._used_of, self._k)
         self._table = table
         self._nv = nv
         self._link_state = {

@@ -151,6 +151,22 @@ class ServiceConfig:
             ``benchmarks/test_bench_incremental_lvn.py`` drumbeat
             scenarios measure.  Off restores PR 1's flush-per-epoch
             behaviour exactly.
+        compiled_routing: Route the VRA's weight-table builds and Dijkstra
+            runs through the array-compiled topology snapshot
+            (:class:`~repro.network.compiled.TopologySnapshot`): the
+            topology is frozen into int-indexed CSR arrays, refreshed off
+            its ``state_version`` counter, and the LVN/Dijkstra kernels
+            run over flat arrays instead of per-link object loops.
+            Decisions are bit-for-bit identical either way — the compiled
+            kernels reproduce the python path down to the last ulp and to
+            dict insertion order (the equivalence property suites pin
+            this) — so the knob only changes what a cache/memo miss
+            costs.  On by default; turn off (or uninstall numpy — the
+            snapshot then runs its plain-list backend, still faster than
+            the object loops) to get PR 7's exact execution path.
+            Ignored when ``use_server_load_in_vra`` is on, because the
+            compiled kernel implements the paper's exact eq. (2) without
+            the workload extension.
         decision_cache_size: LRU bound on *whole-decision* memoization
             (see :class:`~repro.network.routing.cache.DecisionCache`).
             Within a routing epoch, requests sharing ``(home server,
@@ -225,6 +241,7 @@ class ServiceConfig:
     vra_trace: bool = False
     routing_cache_size: int = 128
     routing_delta_updates: bool = True
+    compiled_routing: bool = True
     decision_cache_size: int = 0
     admission_queue_capacity: int = 0
     admission_rate_per_s: float = DEFAULT_ADMISSION_RATE_PER_S
@@ -406,6 +423,7 @@ class VoDService:
                 else 0
             ),
             metrics=self.obs,
+            compiled=self.config.compiled_routing,
         )
         self._decision_memo_on = self.vra.decision_cache is not None
         if self.vra.cache is not None:
@@ -549,6 +567,13 @@ class VoDService:
             description="raw event-heap length (cancelled carcasses included)",
             callback=lambda: float(self.sim.heap_depth),
         )
+        # Cancelled-carcass compactions are engine-internal events, so the
+        # counter rides the engine's hook rather than a sampled gauge.
+        m_compactions = obs.counter(
+            "engine.heap_compactions", subsystem="sim",
+            description="cancelled-carcass heap compactions performed",
+        )
+        self.sim.on_compaction = m_compactions.inc
         obs.gauge(
             "service.sessions_active", subsystem="service",
             description="sessions submitted and not yet finished",

@@ -33,6 +33,7 @@ from repro.errors import (
     RoutingError,
     TitleUnavailableError,
 )
+from repro.network.compiled import TopologySnapshot
 from repro.network.routing.cache import (
     DEFAULT_TREE_CAPACITY,
     DecisionCache,
@@ -142,6 +143,16 @@ class VirtualRoutingAlgorithm:
             candidate-count histogram under the ``vra.*`` families, and
             exposes the cache's delta-maintenance counters under
             ``routing.*``.
+        compiled: Route weight-table builds and Dijkstra runs through the
+            array-compiled :class:`~repro.network.compiled.TopologySnapshot`
+            instead of the per-link python loops.  Output is bit-for-bit
+            identical either way (the equivalence property suites pin it);
+            this only changes the cost of a cache/memo miss.  Automatically
+            ignored when ``node_load`` is active (the compiled kernel
+            implements the paper's exact eq. 2, not the workload
+            extension); trace-mode Dijkstra runs also fall back to the
+            python path, which is the only implementation of the
+            paper-style step tables.
     """
 
     def __init__(
@@ -156,6 +167,7 @@ class VirtualRoutingAlgorithm:
         delta_of: Optional[DeltaFn] = None,
         decision_cache_size: int = 0,
         metrics: Optional[MetricsRegistry] = None,
+        compiled: bool = False,
     ):
         self._topology = topology
         self._used_of = used_of
@@ -163,6 +175,9 @@ class VirtualRoutingAlgorithm:
         self._node_load = node_load
         self._trace = trace
         self._epoch_of = epoch_of
+        self._snapshot: Optional[TopologySnapshot] = (
+            TopologySnapshot(topology) if compiled and node_load is None else None
+        )
         if cache_size < 0:
             raise ReproError(
                 f"routing cache size must be >= 0, got {cache_size!r}"
@@ -170,7 +185,9 @@ class VirtualRoutingAlgorithm:
         cacheable = epoch_of is not None and cache_size > 0
         self._delta_of = delta_of
         self._incremental: Optional[IncrementalLvnTable] = (
-            IncrementalLvnTable(topology, used_of, normalization_constant)
+            IncrementalLvnTable(
+                topology, used_of, normalization_constant, snapshot=self._snapshot
+            )
             if cacheable and delta_of is not None and node_load is None
             else None
         )
@@ -263,6 +280,8 @@ class VirtualRoutingAlgorithm:
             # Rebase the incremental table on the exact cold result the
             # cache stores, so later patches start from cached truth.
             return self._incremental.rebuild()
+        if self._snapshot is not None:
+            return self._snapshot.weight_table(self._used_of, self._k)
         return weight_table(self._topology, self._used_of, self._k, self._node_load)
 
     def _delta_probe(self):
@@ -281,6 +300,14 @@ class VirtualRoutingAlgorithm:
         callers treat as read-only audit state.
         """
         if self.cache is None:
+            if (
+                self._snapshot is not None
+                and self._incremental is None
+                and not self._trace
+            ):
+                # Cache-less hot path: fused snapshot call (one version
+                # check, no weight-token round-trip).
+                return self._snapshot.routing_state(home_uid, self._used_of, self._k)
             weights = self._compute_weights()
             return weights, self._run_dijkstra(home_uid, weights)
         epoch = self._epoch_of()
@@ -291,6 +318,8 @@ class VirtualRoutingAlgorithm:
         return weights, result
 
     def _run_dijkstra(self, home_uid: str, weights: Dict[str, float]) -> DijkstraResult:
+        if self._snapshot is not None and not self._trace:
+            return self._snapshot.dijkstra(home_uid, weights)
         return dijkstra(
             self._topology,
             home_uid,

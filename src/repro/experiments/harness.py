@@ -184,12 +184,18 @@ def run_service_experiment(experiment: ServiceExperiment) -> SweepResult:
         Table2Replayer(sim, service.topology).start()
     service.start()
 
-    for event in experiment.scenario.events:
-        sim.schedule_at(
-            experiment.start_time + event.time_s,
-            lambda e=event: service.request_by_home(e.home_uid, e.title_id, e.client_id),
-            name=f"request:{event.client_id}",
-        )
+    sim.schedule_many(
+        (
+            (
+                experiment.start_time + event.time_s,
+                lambda e=event: service.request_by_home(e.home_uid, e.title_id, e.client_id),
+                (),
+                f"request:{event.client_id}",
+            )
+            for event in experiment.scenario.events
+        ),
+        absolute=True,
+    )
 
     horizon = experiment.run_until
     if horizon is None:

@@ -1,0 +1,464 @@
+"""Array-compiled routing core: CSR topology snapshots for the hot path.
+
+:class:`TopologySnapshot` freezes a :class:`~repro.network.topology.Topology`
+into flat int-indexed arrays — per-link endpoint/capacity/online arrays and a
+CSR adjacency over node *positions* — and reuses them across decisions,
+refreshing off the topology's ``state_version`` counter instead of re-walking
+object adjacency per decision.  Two kernels run on top:
+
+* :meth:`TopologySnapshot.weight_table_with_nv` — equations (1)-(4) over the
+  link arrays, and
+* :meth:`TopologySnapshot.dijkstra` — shortest paths over the CSR arrays.
+
+Correctness contract — **bit-for-bit**, the same bar the incremental LVN
+table meets: every table, NV map and Dijkstra result must equal the python
+path (:func:`repro.core.lvn.weight_table_with_nv`,
+:func:`repro.network.routing.dijkstra.dijkstra`) down to the last ulp *and*
+down to dict insertion order.  The rules that enforce it:
+
+* NV segment sums accumulate strictly left-to-right in ``links_at`` order,
+  exactly like the python ``sum()``.  ``np.add.reduceat`` is deliberately
+  *not* used: numpy reduces pairwise, which diverges from sequential
+  addition in the last ulp.  The numpy backend instead accumulates padded
+  per-node columns one at a time — each step an elementwise add, so every
+  node's sum is still left-to-right — and masked-out (offline) or padding
+  entries contribute ``0.0``, which is bitwise-neutral for the non-negative
+  partial sums these equations produce.
+* Elementwise divide/multiply/add/maximum are IEEE-correctly rounded in
+  both numpy and CPython, so vectorizing them is order-free and safe.
+* Dijkstra's heap orders by ``(distance, uid-rank)`` where the rank is the
+  node's index in sorted-uid order — the same total order as the python
+  path's ``(distance, uid)`` string comparison — and relaxation stays
+  strict, so settlement order, the predecessor tree and the
+  :func:`~repro.network.routing.dijkstra.tree_unaffected` proofs are
+  untouched.
+
+numpy is optional.  Below :data:`NUMPY_MIN_LINKS` links — or whenever numpy
+is not installed — the kernels run over plain python lists instead; both
+backends execute the exact same sequence of scalar operations, which is
+what the no-numpy CI leg and the backend-equivalence property tests pin.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError, RoutingError, TopologyError
+from repro.network.link import Link
+from repro.network.routing.dijkstra import DijkstraResult
+from repro.network.topology import Topology
+
+try:  # pragma: no cover - exercised by the no-numpy CI leg
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Link count below which the list backend is used even when numpy is
+#: available: at GRNET-class sizes the per-call overhead of a dozen array
+#: ops exceeds the cost of the plain loops, and the two backends are
+#: bit-identical anyway so the switch is purely a latency decision.
+NUMPY_MIN_LINKS = 256
+
+#: The paper's suggested normalization constant (eq. 4); mirrors
+#: ``repro.core.lvn.DEFAULT_NORMALIZATION_CONSTANT`` without importing the
+#: core package from the network layer.
+_DEFAULT_K = 10.0
+
+
+class CompiledWeightTable(dict):
+    """A weight table that also carries its values as a flat link array.
+
+    Behaves exactly like the plain ``Dict[str, float]`` the python path
+    returns (same keys, same insertion order, same values), but keeps the
+    per-link value list aligned with the snapshot's link order so
+    :meth:`TopologySnapshot.dijkstra` can skip the per-link dict lookups.
+    ``structure_token`` guards against reusing the array after the snapshot
+    rebuilt its structure (the dict fallback still works then).
+    """
+
+    __slots__ = ("link_values", "structure_token")
+
+
+class TopologySnapshot:
+    """Int-indexed CSR view of a topology, invalidated by version counters.
+
+    Nodes are addressed by *position* (insertion order — the order
+    ``topology.nodes()`` yields, which the python path's dicts follow) and
+    carry their *rank* in sorted-uid order for Dijkstra tie-breaks.  Links
+    are addressed by their ``topology.links()`` insertion index.
+
+    Invalidation contract (see DESIGN.md):
+
+    * ``topology.state_version`` unchanged — every array is current (used
+      bandwidth is *not* mirrored; kernels read it per call through
+      ``used_of``, so traffic changes need no refresh).
+    * ``state_version`` moved, node/link counts unchanged — only online
+      flags can have changed (links are never removed); refresh the online
+      mask in O(links).
+    * node or link count moved — full structural rebuild.
+    """
+
+    def __init__(self, topology: Topology):
+        self._topology = topology
+        self._seen_state_version = -1
+        self._structure_version = 0
+        #: Test hook: force "list" or "numpy" kernels regardless of size.
+        self._force_backend: Optional[str] = None
+        self._rebuild_structure()
+        self._seen_state_version = topology.state_version
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    @property
+    def structure_token(self) -> Tuple[int, int]:
+        """Identity of the current structural arrays (snapshot, rebuild#)."""
+        return self._token
+
+    def _rebuild_structure(self) -> None:
+        topology = self._topology
+        uids = topology.node_uids()
+        n = len(uids)
+        pos_of = {uid: p for p, uid in enumerate(uids)}
+        # Rank = index in sorted-uid order; (dist, rank) compares exactly
+        # like the python path's (dist, uid) because rank is monotone in uid.
+        rank = [0] * n
+        for r, p in enumerate(sorted(range(n), key=uids.__getitem__)):
+            rank[p] = r
+
+        links: List[Link] = list(topology.links())
+        index_of = {link.name: i for i, link in enumerate(links)}
+        self._links = links
+        self._link_names = [link.name for link in links]
+        self._cap = [link.capacity_mbps for link in links]
+        self._a_pos = [pos_of[link.a_uid] for link in links]
+        self._b_pos = [pos_of[link.b_uid] for link in links]
+        self._online = [link.online for link in links]
+
+        # One CSR over node positions, segments in links_at() order — the
+        # exact order the python path's NV sums and Dijkstra scans use.
+        inc_off = [0]
+        inc_link: List[int] = []
+        inc_nbr: List[int] = []
+        linkless_uid: Optional[str] = None
+        for uid in uids:
+            adjacent = topology.links_at(uid)
+            if not adjacent and linkless_uid is None:
+                linkless_uid = uid
+            for link in adjacent:
+                inc_link.append(index_of[link.name])
+                inc_nbr.append(pos_of[link.other_end(uid)])
+            inc_off.append(len(inc_link))
+
+        self._uids = uids
+        self._pos_of = pos_of
+        self._rank = rank
+        self._inc_off = inc_off
+        self._inc_link = inc_link
+        self._inc_nbr = inc_nbr
+        self._linkless_uid = linkless_uid
+        self._lv_cache: Dict[float, object] = {}
+        self._structure_version += 1
+        self._token = (id(self), self._structure_version)
+        self._node_count = n
+        self._link_count = len(links)
+
+        if _np is None:
+            self._np_ready = False
+        else:
+            self._np_ready = True
+            self._cap_arr = _np.asarray(self._cap, dtype=_np.float64)
+            self._a_pos_arr = _np.asarray(self._a_pos, dtype=_np.intp)
+            self._b_pos_arr = _np.asarray(self._b_pos, dtype=_np.intp)
+            # Padded incidence matrix for the sequential-column NV
+            # reduction: row p lists node p's incident link indices, padded
+            # with the sentinel slot L whose used bandwidth reads 0.0.
+            sentinel = len(links)
+            degrees = [inc_off[p + 1] - inc_off[p] for p in range(n)]
+            maxdeg = max(degrees, default=0)
+            pad = _np.full((n, maxdeg), sentinel, dtype=_np.intp)
+            for p in range(n):
+                start, end = inc_off[p], inc_off[p + 1]
+                if end > start:
+                    pad[p, : end - start] = inc_link[start:end]
+            self._pad_idx = pad
+            self._maxdeg = maxdeg
+        self._rebuild_online_derived()
+
+    def _rebuild_online_derived(self) -> None:
+        """Online-dependent derived arrays, rebuilt on every online flip.
+
+        Structure and online state change orders of magnitude less often
+        than decisions are made, so everything the per-call kernels would
+        otherwise re-derive from the online mask is hoisted here: the
+        online-filtered NV segments with their capacity totals (the
+        denominators of eq. 1 — summed strictly left-to-right in
+        ``links_at`` order, like the python ``sum()``), and Dijkstra's
+        online-only edge lists (kept in ``links_at`` order so lazy weight
+        validation fires in the python path's scan order).
+        """
+        n = self._node_count
+        inc_off, inc_link, inc_nbr = self._inc_off, self._inc_link, self._inc_nbr
+        online, cap = self._online, self._cap
+        nv_links: List[List[int]] = []
+        nv_cap: List[float] = []
+        adj: List[List[Tuple[int, int]]] = []
+        for p in range(n):
+            segment = []
+            total_cap = 0.0
+            edges = []
+            for j in range(inc_off[p], inc_off[p + 1]):
+                i = inc_link[j]
+                if online[i]:
+                    segment.append(i)
+                    total_cap += cap[i]
+                    edges.append((inc_nbr[j], i))
+            nv_links.append(segment)
+            nv_cap.append(total_cap)
+            adj.append(edges)
+        self._nv_links = nv_links
+        self._nv_cap = nv_cap
+        self._adj_online = adj
+        if self._np_ready:
+            self._online_arr = _np.asarray(online, dtype=bool)
+            cap_total = _np.asarray(nv_cap, dtype=_np.float64)
+            dead = cap_total == 0.0
+            self._dead_arr = dead
+            self._safe_cap_arr = _np.where(dead, 1.0, cap_total)
+
+    def _refresh_online(self) -> None:
+        links = self._links
+        online = self._online
+        for i in range(len(links)):
+            online[i] = links[i].online
+        self._rebuild_online_derived()
+
+    def refresh(self) -> None:
+        """Bring the arrays up to date with the topology's version counters."""
+        topology = self._topology
+        version = topology.state_version
+        if version == self._seen_state_version:
+            return
+        if (
+            topology.node_count != self._node_count
+            or topology.link_count != self._link_count
+        ):
+            self._rebuild_structure()
+        else:
+            self._refresh_online()
+        self._seen_state_version = version
+
+    # ------------------------------------------------------------------ #
+    # LVN kernel (equations 1-4)
+    # ------------------------------------------------------------------ #
+    def _lv_values(self, normalization_constant: float, as_array: bool):
+        """Per-link LV = capacity / K (eq. 4), cached per (K, backend).
+
+        The list variant must hold plain python floats — the table the
+        kernel hands back is audit state that gets JSON-serialized, so
+        numpy scalars may never leak out of the numpy backend (whose
+        ``tolist()`` conversion strips them).
+        """
+        key = (normalization_constant, as_array)
+        cached = self._lv_cache.get(key)
+        if cached is None:
+            if as_array:
+                cached = self._cap_arr / normalization_constant
+            else:
+                cached = [cap / normalization_constant for cap in self._cap]
+            self._lv_cache[key] = cached
+        return cached
+
+    def _use_numpy(self) -> bool:
+        if self._force_backend == "numpy":
+            return self._np_ready
+        if self._force_backend == "list":
+            return False
+        return self._np_ready and self._link_count >= NUMPY_MIN_LINKS
+
+    def weight_table(
+        self,
+        used_of: Optional[Callable[[Link], float]] = None,
+        normalization_constant: float = _DEFAULT_K,
+    ) -> CompiledWeightTable:
+        """The LVN table alone (mirrors :func:`repro.core.lvn.weight_table`)."""
+        return self.weight_table_with_nv(used_of, normalization_constant, _nv=False)[0]
+
+    def weight_table_with_nv(
+        self,
+        used_of: Optional[Callable[[Link], float]] = None,
+        normalization_constant: float = _DEFAULT_K,
+        _nv: bool = True,
+    ) -> Tuple[CompiledWeightTable, Optional[Dict[str, float]]]:
+        """Equations (1)-(4) over the arrays, bit-identical to the python path.
+
+        Raises:
+            ReproError: If a node has no adjacent links (matching
+                :func:`repro.core.lvn.node_validation` — the first such node
+                in insertion order), or the normalization constant is not
+                positive.  A node whose links are all *offline* gets NV 0.0
+                in both paths (the shared degenerate-topology rule).
+        """
+        self.refresh()
+        if self._linkless_uid is not None:
+            raise ReproError(
+                f"node {self._linkless_uid!r} has no adjacent links; NV undefined"
+            )
+        if self._link_count and not (normalization_constant > 0.0):
+            raise ReproError(
+                f"normalization constant must be positive, got {normalization_constant!r}"
+            )
+        links = self._links
+        if used_of is None:
+            used_vals = [link.used_mbps for link in links]
+        else:
+            used_vals = [used_of(link) for link in links]
+
+        if self._use_numpy():
+            nv_vals, weights = self._kernel_numpy(used_vals, normalization_constant)
+        else:
+            nv_vals, weights = self._kernel_list(used_vals, normalization_constant)
+
+        table = CompiledWeightTable(zip(self._link_names, weights))
+        table.link_values = weights
+        table.structure_token = self._token
+        return table, dict(zip(self._uids, nv_vals)) if _nv else None
+
+    def _kernel_list(
+        self, used_vals: List[float], k: float
+    ) -> Tuple[List[float], List[float]]:
+        nv_vals = [0.0] * self._node_count
+        for p, segment in enumerate(self._nv_links):
+            total_cap = self._nv_cap[p]
+            if total_cap > 0.0:
+                total_used = 0.0
+                for i in segment:
+                    total_used += used_vals[i]
+                nv_vals[p] = total_used / total_cap
+        lv = self._lv_values(k, as_array=False)
+        weights = [
+            (nv_vals[a] if nv_vals[a] >= nv_vals[b] else nv_vals[b]) + (u / c) * v
+            for a, b, u, c, v in zip(
+                self._a_pos, self._b_pos, used_vals, self._cap, lv
+            )
+        ]
+        return nv_vals, weights
+
+    def _kernel_numpy(
+        self, used_vals: List[float], k: float
+    ) -> Tuple[List[float], List[float]]:
+        count = self._link_count
+        used_arr = _np.asarray(used_vals, dtype=_np.float64)
+        # Extended (L+1)-slot array: offline links and the padding
+        # sentinel both read 0.0, a bitwise no-op for these sums.  The
+        # capacity totals (eq. 1 denominators) only depend on structure and
+        # online state, so they come precomputed from the refresh.
+        ext_used = _np.zeros(count + 1)
+        ext_used[:count] = _np.where(self._online_arr, used_arr, 0.0)
+        padded_used = ext_used[self._pad_idx]
+        if self._maxdeg:
+            total_used = padded_used[:, 0].copy()
+            # Column-at-a-time accumulation: every node's sum proceeds
+            # strictly left-to-right, exactly like the python sum().
+            for j in range(1, self._maxdeg):
+                total_used += padded_used[:, j]
+        else:  # pragma: no cover - only reachable with zero nodes
+            total_used = _np.zeros(self._node_count)
+        nv_arr = _np.where(self._dead_arr, 0.0, total_used / self._safe_cap_arr)
+        lu = (used_arr / self._cap_arr) * self._lv_values(k, as_array=True)
+        weights = _np.maximum(nv_arr[self._a_pos_arr], nv_arr[self._b_pos_arr]) + lu
+        return nv_arr.tolist(), weights.tolist()
+
+    # ------------------------------------------------------------------ #
+    # Dijkstra over the CSR arrays
+    # ------------------------------------------------------------------ #
+    def _weight_values(self, weights: Dict[str, float]) -> List[float]:
+        if (
+            type(weights) is CompiledWeightTable
+            and weights.structure_token == self._token
+        ):
+            return weights.link_values
+        return [weights[name] for name in self._link_names]
+
+    def routing_state(
+        self,
+        source: str,
+        used_of: Optional[Callable[[Link], float]] = None,
+        normalization_constant: float = _DEFAULT_K,
+    ) -> Tuple[CompiledWeightTable, DijkstraResult]:
+        """One decision's (weight table, shortest-path tree), fused.
+
+        The cache-less hot path calls both per decision; fusing them shares
+        the version check and hands the freshly computed value array to
+        Dijkstra without the token round-trip.
+        """
+        table = self.weight_table_with_nv(used_of, normalization_constant, _nv=False)[0]
+        return table, self._run_dijkstra(source, table.link_values)
+
+    def dijkstra(self, source: str, weights: Dict[str, float]) -> DijkstraResult:
+        """Single-source shortest paths, bit-identical to the python path.
+
+        Same determinism contract, error messages and dict insertion order
+        as :func:`repro.network.routing.dijkstra.dijkstra` (trace mode is
+        not supported here; the VRA falls back to the python path for it).
+        """
+        self.refresh()
+        if source not in self._pos_of:
+            # Checked before weight resolution so an unknown source raises
+            # the python path's TopologyError even with stale/empty weights.
+            raise TopologyError(
+                f"Dijkstra source {source!r} is not in topology {self._topology.name!r}"
+            )
+        return self._run_dijkstra(source, self._weight_values(weights))
+
+    def _run_dijkstra(self, source: str, values: List[float]) -> DijkstraResult:
+        pos = self._pos_of.get(source)
+        if pos is None:
+            raise TopologyError(
+                f"Dijkstra source {source!r} is not in topology {self._topology.name!r}"
+            )
+        n = self._node_count
+        inf = float("inf")
+        dist = [inf] * n
+        prev = [-1] * n
+        settled = bytearray(n)
+        rank = self._rank
+        adj, names = self._adj_online, self._link_names
+        heappush, heappop = heapq.heappush, heapq.heappop
+
+        dist[pos] = 0.0
+        reached = [pos]  # dict insertion order: source, then first relaxations
+        heap: List[Tuple[float, int, int]] = [(0.0, rank[pos], pos)]
+        while heap:
+            d, _, u = heappop(heap)
+            if settled[u]:
+                continue
+            settled[u] = 1
+            # Offline links are already filtered out of the edge lists —
+            # before validation, matching the python path's lazy scan.
+            for v, i in adj[u]:
+                cost = values[i]
+                if not (cost >= 0.0):  # rejects negatives and NaN
+                    raise RoutingError(
+                        f"link {names[i]!r} has invalid weight {cost!r}; "
+                        "Dijkstra requires non-negative weights"
+                    )
+                if settled[v]:
+                    continue
+                candidate = d + cost
+                if candidate < dist[v]:
+                    if dist[v] == inf:
+                        reached.append(v)
+                    dist[v] = candidate
+                    prev[v] = u
+                    heappush(heap, (candidate, rank[v], v))
+
+        uids = self._uids
+        distances = {uids[p]: dist[p] for p in reached}
+        predecessors = {
+            uids[p]: uids[prev[p]] if prev[p] >= 0 else None for p in reached
+        }
+        return DijkstraResult(
+            source=source, distances=distances, predecessors=predecessors
+        )

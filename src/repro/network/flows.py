@@ -4,17 +4,30 @@ A *flow* is a VoD stream occupying ``rate_mbps`` along every link of a path.
 The :class:`FlowManager` reserves atomically — either every link on the path
 accepts the reservation or none does — so link accounting can never be left
 half-updated by an admission failure mid-path.
+
+Hot-path shape: flash crowds reserve and release the same few node paths
+over and over, so the manager memoizes the path → link-tuple resolution
+(valid forever — links are never removed and parallel links are rejected,
+so an existing node pair can never resolve differently).  Reservation is
+check-then-commit: every link's free capacity is validated up front with
+the exact acceptance test :meth:`~repro.network.link.Link.reserve` applies,
+and only then are the links mutated — a failed admission touches nothing
+(no reserve/rollback churn in the link telemetry or the change journal).
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.errors import FlowError, LinkCapacityError
 from repro.network.link import Link
 from repro.network.topology import Topology
+
+#: Bound on memoized path resolutions; a pathological workload that never
+#: repeats a path clears the memo instead of growing it without limit.
+PATH_MEMO_CAPACITY = 4096
 
 
 @dataclass(frozen=True)
@@ -44,6 +57,7 @@ class FlowManager:
         self._topology = topology
         self._ids = itertools.count(1)
         self._active: Dict[int, Flow] = {}
+        self._path_links: Dict[Tuple[str, ...], Tuple[Link, ...]] = {}
 
     @property
     def active_count(self) -> int:
@@ -53,6 +67,19 @@ class FlowManager:
     def active_flows(self) -> List[Flow]:
         """Snapshot of active flows."""
         return list(self._active.values())
+
+    def _links_of(self, node_path: Iterable[str]) -> Tuple[Link, ...]:
+        """Memoized path → link-tuple resolution (TopologyError on bad paths;
+        only successful resolutions are cached, and they stay valid because
+        links are never removed)."""
+        key = tuple(node_path)
+        links = self._path_links.get(key)
+        if links is None:
+            if len(self._path_links) >= PATH_MEMO_CAPACITY:
+                self._path_links.clear()
+            links = tuple(self._topology.path_links(key))
+            self._path_links[key] = links
+        return links
 
     def reserve(self, node_path: List[str], rate_mbps: float) -> Flow:
         """Atomically reserve ``rate_mbps`` along ``node_path``.
@@ -70,16 +97,30 @@ class FlowManager:
             raise FlowError("flow path must contain at least one node")
         if not (rate_mbps > 0.0):
             raise FlowError(f"flow rate must be positive, got {rate_mbps!r}")
-        links = self._topology.path_links(node_path)
-        reserved: List[Link] = []
-        try:
+        links = self._links_of(node_path)
+        if len(set(links)) == len(links):
+            # Normal case — no repeated links (shortest paths are simple).
+            # Check every link with Link.reserve's own acceptance test,
+            # then commit; the commit cannot fail because the links are
+            # distinct, so no rollback path is needed.
+            for link in links:
+                if rate_mbps > link.free_mbps + 1e-9:
+                    link.reserve(rate_mbps)  # raises the canonical error
             for link in links:
                 link.reserve(rate_mbps)
-                reserved.append(link)
-        except LinkCapacityError:
-            for link in reserved:
-                link.release(rate_mbps)
-            raise
+        else:
+            # Repeated links (a non-simple caller-supplied path): earlier
+            # hops consume the capacity later hops need, so fall back to
+            # sequential reserve with rollback.
+            reserved: List[Link] = []
+            try:
+                for link in links:
+                    link.reserve(rate_mbps)
+                    reserved.append(link)
+            except LinkCapacityError:
+                for link in reserved:
+                    link.release(rate_mbps)
+                raise
         flow = Flow(flow_id=next(self._ids), node_path=tuple(node_path), rate_mbps=rate_mbps)
         self._active[flow.flow_id] = flow
         return flow
@@ -92,18 +133,18 @@ class FlowManager:
         """
         if flow.flow_id not in self._active:
             raise FlowError(f"flow {flow.flow_id} is not active (double release?)")
-        for link in self._topology.path_links(list(flow.node_path)):
+        for link in self._links_of(flow.node_path):
             link.release(flow.rate_mbps)
         del self._active[flow.flow_id]
 
     def path_fits(self, node_path: List[str], rate_mbps: float) -> bool:
         """True if every link on the path has ``rate_mbps`` spare."""
-        links = self._topology.path_links(node_path)
+        links = self._links_of(node_path)
         return all(link.free_mbps + 1e-9 >= rate_mbps for link in links)
 
     def bottleneck_mbps(self, node_path: List[str]) -> float:
         """Smallest spare capacity along the path (inf for a 1-node path)."""
-        links = self._topology.path_links(node_path)
+        links = self._links_of(node_path)
         if not links:
             return float("inf")
         return min(link.free_mbps for link in links)

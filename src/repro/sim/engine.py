@@ -10,10 +10,14 @@ seed and schedule.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import SchedulingError, SimulationError
 from repro.sim.events import Event
+
+#: Heaps smaller than this are never compacted: sweeping a few dozen
+#: entries off the top lazily is cheaper than any rebuild.
+COMPACTION_FLOOR = 64
 
 
 class EventHandle:
@@ -82,6 +86,11 @@ class Simulator:
         self._stopped = False
         self._events_fired = 0
         self._pending = 0
+        self._compactions = 0
+        #: Optional callback invoked after each cancelled-carcass heap
+        #: compaction; the service wires this to the
+        #: ``engine.heap_compactions`` telemetry counter.
+        self.on_compaction: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------ #
     # clock
@@ -114,6 +123,17 @@ class Simulator:
         the engine's memory overhead from cancellation-heavy workloads.
         """
         return len(self._heap)
+
+    @property
+    def compactions(self) -> int:
+        """Cancelled-carcass heap compactions performed (diagnostic).
+
+        The engine rebuilds the heap whenever carcasses outnumber pending
+        events (above :data:`COMPACTION_FLOOR`), so cancellation-heavy
+        retry/requeue workloads hold O(pending) memory instead of growing
+        the heap until the carcasses happen to reach the top.
+        """
+        return self._compactions
 
     # ------------------------------------------------------------------ #
     # scheduling
@@ -158,12 +178,85 @@ class Simulator:
         event = Event(time=float(time), seq=self._seq, callback=callback, args=args, name=name)
         self._seq += 1
         handle = EventHandle(event, on_cancel=self._note_cancel)
-        heapq.heappush(self._heap, (event.sort_key(), handle))
+        heapq.heappush(self._heap, (event.key, handle))
         self._pending += 1
         return handle
 
+    def schedule_many(
+        self,
+        entries: Iterable[Sequence[Any]],
+        *,
+        absolute: bool = False,
+    ) -> List[EventHandle]:
+        """Bulk-schedule a batch of events in one heap operation.
+
+        Each entry is ``(delay, callback)``, ``(delay, callback, args)`` or
+        ``(delay, callback, args, name)`` — the same semantics as one
+        :meth:`schedule` call per entry (``absolute=True`` reads the first
+        element as an absolute time, i.e. :meth:`schedule_at`), and the
+        resulting firing order is identical: events pop by ``(time, seq)``
+        no matter how they entered the heap.  For batches that rival the
+        heap's size, one ``heapify`` over the extended list is O(n + k)
+        instead of k pushes at O(k log n).
+
+        Returns:
+            Handles in entry order.
+
+        Raises:
+            SchedulingError: On the first invalid entry; the heap is left
+                untouched (no partial batch is scheduled).
+        """
+        new: List[Tuple[Tuple[float, int], EventHandle]] = []
+        handles: List[EventHandle] = []
+        for entry in entries:
+            time_value, callback = entry[0], entry[1]
+            args = tuple(entry[2]) if len(entry) > 2 else ()
+            name = entry[3] if len(entry) > 3 else ""
+            if absolute:
+                time = float(time_value)
+                if time < self._now:
+                    raise SchedulingError(
+                        f"cannot schedule event {name or callback!r} at t={time}, "
+                        f"which is before current time t={self._now}"
+                    )
+            else:
+                time = self._now + self._check_delay(time_value)
+            event = Event(time=time, seq=self._seq, callback=callback, args=args, name=name)
+            self._seq += 1
+            handle = EventHandle(event, on_cancel=self._note_cancel)
+            new.append((event.key, handle))
+            handles.append(handle)
+        if not new:
+            return handles
+        heap = self._heap
+        if len(new) >= max(len(heap) // 4, 8):
+            heap.extend(new)
+            heapq.heapify(heap)
+        else:
+            for item in new:
+                heapq.heappush(heap, item)
+        self._pending += len(new)
+        return handles
+
     def _note_cancel(self) -> None:
         self._pending -= 1
+        # Compact when carcasses outnumber live events: lazy top-sweeping
+        # alone lets a cancellation-heavy workload (retry storms, requeue
+        # churn) grow the heap with bodies that never reach the top.
+        heap = self._heap
+        if len(heap) >= COMPACTION_FLOOR and len(heap) - self._pending > self._pending:
+            self._compact()
+
+    def _compact(self) -> None:
+        heap = self._heap
+        live = [entry for entry in heap if entry[1].pending]
+        # In-place so a running event loop holding a reference to the heap
+        # list keeps seeing the compacted state.
+        heap[:] = live
+        heapq.heapify(heap)
+        self._compactions += 1
+        if self.on_compaction is not None:
+            self.on_compaction()
 
     @staticmethod
     def _check_delay(delay: float) -> float:
@@ -231,13 +324,13 @@ class Simulator:
         self._stopped = False
         fired = 0
         heap = self._heap
+        sweep = self._drop_cancelled
         try:
             # Fused loop: one cancelled-carcass sweep and one heap pop per
             # event, instead of the peek()+step() pair (each of which swept
             # the heap top and peek() re-read what step() popped).
             while not self._stopped:
-                while heap and not heap[0][1].pending:
-                    heapq.heappop(heap)
+                sweep()
                 if not heap:
                     break
                 handle = heap[0][1]
@@ -259,5 +352,11 @@ class Simulator:
         self._stopped = True
 
     def _drop_cancelled(self) -> None:
-        while self._heap and not self._heap[0][1].pending:
-            heapq.heappop(self._heap)
+        """Sweep cancelled carcasses off the heap top.
+
+        The one sweep shared by :meth:`peek`, :meth:`step` and the
+        :meth:`run` loop, so the carcass-skipping rule lives in one place.
+        """
+        heap = self._heap
+        while heap and not heap[0][1].pending:
+            heapq.heappop(heap)

@@ -8,7 +8,7 @@ the tests assert because stream bookkeeping depends on it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Tuple
 
 
@@ -22,6 +22,9 @@ class Event:
         callback: Zero-result callable invoked when the event fires.
         args: Positional arguments passed to ``callback``.
         name: Optional human-readable label used in traces and error text.
+        key: The ``(time, seq)`` heap key, precomputed at construction so
+            the engine's push path reuses one tuple instead of building it
+            per call.
     """
 
     time: float
@@ -29,10 +32,14 @@ class Event:
     callback: Callable[..., Any]
     args: Tuple[Any, ...] = ()
     name: str = ""
+    key: Tuple[float, int] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "key", (self.time, self.seq))
 
     def sort_key(self) -> Tuple[float, int]:
         """Key defining the engine's total order over events."""
-        return (self.time, self.seq)
+        return self.key
 
     def fire(self) -> Any:
         """Invoke the callback with its stored arguments."""
