@@ -6,7 +6,10 @@ run on:
 
 * **DMA** — the Disk Manipulation Algorithm: popularity ("most popular")
   caching of whole video titles per server, striped cyclically across the
-  server's disks (:mod:`repro.core.dma`, :mod:`repro.storage`);
+  server's disks — now one of several placement policies behind the
+  :class:`~repro.placement.base.PlacementPolicy` interface, next to prefix
+  replication and popularity-weighted partial caching
+  (:mod:`repro.placement`, :mod:`repro.storage`);
 * **VRA** — the Virtual Routing Algorithm: LVN link weighting (equations
   1-4) plus Dijkstra server selection, re-evaluated per cluster for
   dynamic mid-stream switching (:mod:`repro.core.vra`,
@@ -39,6 +42,15 @@ Quickstart::
 
 from repro.core.dma import DiskManipulationAlgorithm, DmaAction, DmaResult
 from repro.core.lvn import link_validation_number, weight_table
+from repro.placement.base import (
+    PlacementAction,
+    PlacementConfig,
+    PlacementPolicy,
+    PlacementResult,
+)
+from repro.placement.partial import PopularityWeightedPartial
+from repro.placement.prefix import PrefixReplication
+from repro.placement.whole_title import WholeTitleDma
 from repro.core.service import ServiceConfig, VoDService
 from repro.core.session import SessionRecord, StreamingSession
 from repro.core.vra import VirtualRoutingAlgorithm, VraDecision
@@ -58,6 +70,12 @@ __all__ = [
     "DmaResult",
     "Link",
     "Node",
+    "PlacementAction",
+    "PlacementConfig",
+    "PlacementPolicy",
+    "PlacementResult",
+    "PopularityWeightedPartial",
+    "PrefixReplication",
     "ServiceConfig",
     "SessionRecord",
     "Simulator",
@@ -67,6 +85,7 @@ __all__ = [
     "VirtualRoutingAlgorithm",
     "VoDService",
     "VraDecision",
+    "WholeTitleDma",
     "link_validation_number",
     "weight_table",
     "__version__",

@@ -1,8 +1,8 @@
 """Cache-policy baselines for the DMA comparison (DESIGN.md X2).
 
-Each policy exposes the DMA's surface — ``on_request(video) -> DmaResult``
-and ``seed(video)`` — over the same :class:`~repro.storage.array.DiskArray`,
-so :meth:`repro.server.video_server.VideoServer.set_cache_policy` can swap
+Each policy is a :class:`~repro.placement.base.PlacementPolicy` over the
+same :class:`~repro.storage.array.DiskArray`, so
+:meth:`repro.server.video_server.VideoServer.set_cache_policy` can swap
 them in.
 
 * :class:`NoCachePolicy` — never stores anything beyond its seeds: the
@@ -17,76 +17,56 @@ them in.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import List, Optional
 
-from repro.core.dma import DmaAction, DmaResult
+from repro.placement.base import (
+    PlacementAction,
+    PlacementPolicy,
+    PlacementResult,
+    StoreHook,
+)
 from repro.storage.array import DiskArray
-from repro.storage.cache import PopularityTracker
 from repro.storage.video import VideoTitle
 
-StoreHook = Optional[Callable[[str], None]]
 
+class _BaseCachePolicy(PlacementPolicy):
+    """Common plumbing: the policy interface with the baseline-friendly
+    ``(array, on_store, on_evict)`` constructor the harness factories use."""
 
-class _BaseCachePolicy:
-    """Common plumbing: array access, callbacks, request counting."""
-
-    def __init__(self, array: DiskArray, on_store: StoreHook = None, on_evict: StoreHook = None):
-        self.array = array
-        self.tracker = PopularityTracker()  # kept for points introspection
-        self._on_store = on_store
-        self._on_evict = on_evict
-        self.pass_count = 0
-        #: Title ids exempt from eviction (seed-pinning extension; same
-        #: contract as DiskManipulationAlgorithm.pinned).
-        self.pinned = set()
-
-    def seed(self, video: VideoTitle) -> None:
-        """Initialisation-phase load, identical across policies."""
-        self.array.store(video)
-        self.tracker.track(video.title_id)
-        if self._on_store is not None:
-            self._on_store(video.title_id)
-
-    def cached_title_ids(self) -> List[str]:
-        """Ids currently cached, sorted."""
-        return self.array.stored_title_ids()
-
-    def points_of(self, title_id: str) -> int:
-        """Request count seen for a title."""
-        return self.tracker.points_of(title_id)
-
-    def _store(self, video: VideoTitle) -> None:
-        self.array.store(video)
-        self.tracker.track(video.title_id)
-        if self._on_store is not None:
-            self._on_store(video.title_id)
-
-    def _evict(self, title_id: str) -> None:
-        self.array.remove(title_id)
-        if self._on_evict is not None:
-            self._on_evict(title_id)
+    def __init__(
+        self, array: DiskArray, on_store: StoreHook = None, on_evict: StoreHook = None
+    ):
+        super().__init__(array, on_store=on_store, on_evict=on_evict)
 
 
 class NoCachePolicy(_BaseCachePolicy):
     """Never caches on demand; only seeded titles are ever resident."""
 
-    def on_request(self, video: VideoTitle) -> DmaResult:
+    def _pass(self, video: VideoTitle) -> PlacementResult:
         """Count the request; store nothing."""
-        self.pass_count += 1
         points = self.tracker.give_point(video.title_id)
         if self.array.has_video(video.title_id):
-            return DmaResult(
-                title_id=video.title_id, action=DmaAction.HIT, points=points, cached=True
+            return PlacementResult(
+                title_id=video.title_id,
+                action=PlacementAction.HIT,
+                points=points,
+                cached=True,
+                resident_fraction=1.0,
             )
-        return DmaResult(
-            title_id=video.title_id, action=DmaAction.POINT_ONLY, points=points, cached=False
+        return PlacementResult(
+            title_id=video.title_id,
+            action=PlacementAction.POINT_ONLY,
+            points=points,
+            cached=False,
         )
 
 
 class LruCachePolicy(_BaseCachePolicy):
     """Proxy-style cache: admit everything, evict least recently used."""
 
-    def __init__(self, array: DiskArray, on_store: StoreHook = None, on_evict: StoreHook = None):
+    def __init__(
+        self, array: DiskArray, on_store: StoreHook = None, on_evict: StoreHook = None
+    ):
         super().__init__(array, on_store, on_evict)
         self._recency: List[str] = []  # least recent first
 
@@ -94,14 +74,17 @@ class LruCachePolicy(_BaseCachePolicy):
         super().seed(video)
         self._touch(video.title_id)
 
-    def on_request(self, video: VideoTitle) -> DmaResult:
+    def _pass(self, video: VideoTitle) -> PlacementResult:
         """Admit the title, evicting LRU victims until it fits."""
-        self.pass_count += 1
         points = self.tracker.give_point(video.title_id)
         if self.array.has_video(video.title_id):
             self._touch(video.title_id)
-            return DmaResult(
-                title_id=video.title_id, action=DmaAction.HIT, points=points, cached=True
+            return PlacementResult(
+                title_id=video.title_id,
+                action=PlacementAction.HIT,
+                points=points,
+                cached=True,
+                resident_fraction=1.0,
             )
         evicted: List[str] = []
         while not self.array.can_store(video):
@@ -114,17 +97,23 @@ class LruCachePolicy(_BaseCachePolicy):
         if self.array.can_store(video):
             self._store(video)
             self._touch(video.title_id)
-            action = DmaAction.REPLACED if evicted else DmaAction.STORED
-            return DmaResult(
+            action = PlacementAction.REPLACED if evicted else PlacementAction.STORED
+            return PlacementResult(
                 title_id=video.title_id,
                 action=action,
                 points=points,
                 evicted=tuple(evicted),
                 cached=True,
+                resident_fraction=1.0,
             )
         # The title is larger than the whole array: nothing fits it.
-        action = DmaAction.EVICTED_NOT_STORED if evicted else DmaAction.POINT_ONLY
-        return DmaResult(
+        if evicted:
+            action = PlacementAction.EVICTED_NOT_STORED
+            self.lost_victims += 1
+            self.lost_victim_counter.inc()
+        else:
+            action = PlacementAction.POINT_ONLY
+        return PlacementResult(
             title_id=video.title_id,
             action=action,
             points=points,
@@ -147,19 +136,29 @@ class LruCachePolicy(_BaseCachePolicy):
 class FullReplicationPolicy(_BaseCachePolicy):
     """Store every requested title while space lasts; never evict."""
 
-    def on_request(self, video: VideoTitle) -> DmaResult:
+    def _pass(self, video: VideoTitle) -> PlacementResult:
         """Admit if it fits; otherwise just count the request."""
-        self.pass_count += 1
         points = self.tracker.give_point(video.title_id)
         if self.array.has_video(video.title_id):
-            return DmaResult(
-                title_id=video.title_id, action=DmaAction.HIT, points=points, cached=True
+            return PlacementResult(
+                title_id=video.title_id,
+                action=PlacementAction.HIT,
+                points=points,
+                cached=True,
+                resident_fraction=1.0,
             )
         if self.array.can_store(video):
             self._store(video)
-            return DmaResult(
-                title_id=video.title_id, action=DmaAction.STORED, points=points, cached=True
+            return PlacementResult(
+                title_id=video.title_id,
+                action=PlacementAction.STORED,
+                points=points,
+                cached=True,
+                resident_fraction=1.0,
             )
-        return DmaResult(
-            title_id=video.title_id, action=DmaAction.POINT_ONLY, points=points, cached=False
+        return PlacementResult(
+            title_id=video.title_id,
+            action=PlacementAction.POINT_ONLY,
+            points=points,
+            cached=False,
         )

@@ -6,6 +6,7 @@ Exposes the reproduction's main entry points without writing Python::
     python -m repro experiment A               # one experiment, full trace
     python -m repro lvn --time 4pm             # the LVN weight table
     python -m repro simulate --cache dma ...   # a service-level workload run
+    python -m repro placement --check          # placement-policy comparison + gates
     python -m repro obs --format jsonl         # telemetry of an instrumented run
     python -m repro chaos --seed 7             # seeded fault storm + resilience report
     python -m repro sweep-cluster-size         # the X4 ablation summary
@@ -21,6 +22,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.core.service import ServiceConfig
+from repro.placement.base import PLACEMENT_KINDS, PlacementConfig
 from repro.experiments.casestudy import (
     EXPERIMENTS,
     compute_table3_lvn,
@@ -77,6 +79,38 @@ def _fast_path_config_kwargs(args: argparse.Namespace) -> dict:
         "admission_tick_s": args.admission_tick,
         "compiled_routing": not args.no_compiled_routing,
     }
+
+
+def _add_placement_arguments(subparser: argparse.ArgumentParser) -> None:
+    """Placement-policy knobs shared by ``simulate`` and ``placement``."""
+    group = subparser.add_argument_group("placement")
+    group.add_argument(
+        "--prefix-minutes", type=float, default=10.0, metavar="MIN",
+        help="prefix length cached for hot titles under --placement=prefix",
+    )
+    group.add_argument(
+        "--hot-points", type=int, default=2, metavar="N",
+        help="popularity points before a title earns a prefix copy "
+             "(--placement=prefix)",
+    )
+    group.add_argument(
+        "--partial-floor", type=float, default=0.1, metavar="FRACTION",
+        help="minimum cached fraction per admitted title under "
+             "--placement=partial",
+    )
+
+
+def _placement_config_from(args: argparse.Namespace, kind: str) -> PlacementConfig:
+    """Build the single placement config object from the shared CLI knobs."""
+    if kind == "prefix":
+        return PlacementConfig(
+            kind="prefix",
+            prefix_minutes=args.prefix_minutes,
+            hot_points=args.hot_points,
+        )
+    if kind == "partial":
+        return PlacementConfig(kind="partial", partial_floor=args.partial_floor)
+    return PlacementConfig(kind="dma")
 
 
 def _add_telemetry_arguments(subparser: argparse.ArgumentParser) -> None:
@@ -182,6 +216,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--cache", default="dma",
                           choices=["dma", "dma-greedy", "nocache", "lru", "fullrep"])
+    simulate.add_argument("--placement", default="dma",
+                          choices=list(PLACEMENT_KINDS),
+                          help="placement policy for the default cache: the "
+                               "paper's whole-title DMA, prefix replication, "
+                               "or popularity-weighted partial caching "
+                               "(requires --cache=dma)")
     simulate.add_argument("--selection", default="vra",
                           choices=["vra", "random", "minhop", "static"])
     simulate.add_argument("--switching", default="always",
@@ -203,8 +243,30 @@ def build_parser() -> argparse.ArgumentParser:
                                "defaults to the paper's GRNET backbone")
     simulate.add_argument("--report", action="store_true",
                           help="print per-server/link/title analysis after the run")
+    _add_placement_arguments(simulate)
     _add_fast_path_arguments(simulate)
     _add_telemetry_arguments(simulate)
+
+    placement = commands.add_parser(
+        "placement",
+        help="compare the placement policies (DMA, prefix, partial) on GRNET",
+    )
+    placement.add_argument("--requests-per-node", type=int, default=12)
+    placement.add_argument("--catalog-size", type=int, default=12)
+    placement.add_argument("--seed", type=int, default=23)
+    placement.add_argument("--title-mb", type=float, default=400.0,
+                           help="uniform title size; the default overflows "
+                                "the per-server cache so placement matters")
+    placement.add_argument("--title-minutes", type=float, default=60.0)
+    placement.add_argument("--cluster-mb", type=float, default=50.0)
+    placement.add_argument("--disk-count", type=int, default=2)
+    placement.add_argument("--disk-capacity-mb", type=float, default=500.0)
+    placement.add_argument("--check", action="store_true",
+                           help="also run the replay gates: the DMA run must "
+                                "reproduce byte-identically and match the "
+                                "deprecated DiskManipulationAlgorithm shim; "
+                                "exit 1 on any gate failure")
+    _add_placement_arguments(placement)
 
     obs = commands.add_parser(
         "obs",
@@ -324,6 +386,11 @@ def _cmd_lvn(time_label: str, k: float) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.storage.video import VideoTitle
 
+    if args.placement != "dma" and args.cache != "dma":
+        raise SystemExit(
+            "--placement overrides the default cache policy; "
+            "it cannot be combined with --cache=" + args.cache
+        )
     topology_factory = None
     if args.topology is not None:
         from repro.io import load_topology
@@ -364,6 +431,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             use_reported_stats=False,
             observability=args.telemetry_out is not None or args.phase_profile,
             phase_profiling=args.phase_profile,
+            placement=_placement_config_from(args, args.placement),
             **_fast_path_config_kwargs(args),
         ),
         cache=args.cache,
@@ -420,6 +488,33 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
         print()
         print(render_analysis(analyze_sessions(result.service.sessions)))
+    return 0
+
+
+def _cmd_placement(args: argparse.Namespace) -> int:
+    from repro.experiments.placement import (
+        render_placement_comparison,
+        run_placement_experiment,
+    )
+
+    comparison = run_placement_experiment(
+        requests_per_node=args.requests_per_node,
+        catalog_size=args.catalog_size,
+        seed=args.seed,
+        title_mb=args.title_mb,
+        title_minutes=args.title_minutes,
+        cluster_mb=args.cluster_mb,
+        disk_count=args.disk_count,
+        disk_capacity_mb=args.disk_capacity_mb,
+        prefix_minutes=args.prefix_minutes,
+        partial_floor=args.partial_floor,
+        hot_points=args.hot_points,
+        check=args.check,
+    )
+    print(render_placement_comparison(comparison))
+    if not comparison.gates_passed:
+        print("placement replay gate failed", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -633,6 +728,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_lvn(args.time, args.normalization_constant)
         if args.command == "simulate":
             return _cmd_simulate(args)
+        if args.command == "placement":
+            return _cmd_placement(args)
         if args.command == "obs":
             return _cmd_obs(args)
         if args.command == "chaos":

@@ -1,82 +1,45 @@
-"""The Disk Manipulation Algorithm (paper Figure 2).
+"""Back-compat shim over :mod:`repro.placement` (deprecated module).
 
-The DMA runs on every video server.  Whenever the server begins downloading
-(serving) a video it executes one pass of the Figure 2 loop body:
+The Disk Manipulation Algorithm (paper Figure 2) now lives at
+:class:`repro.placement.whole_title.WholeTitleDma`, one concrete policy
+behind the :class:`~repro.placement.base.PlacementPolicy` interface.
+This module keeps the historical names importable so existing code keeps
+working unchanged:
 
-* video already on disk            -> give it a point;
-* not on disk, array tolerates it  -> write it to the disks;
-* otherwise                        -> give it a point, and if its points now
-  exceed the least-popular cached video's points, delete that video and
-  write the new one if the array now tolerates it.
+* :class:`DmaAction` / :class:`DmaResult` are aliases of
+  :class:`~repro.placement.base.PlacementAction` /
+  :class:`~repro.placement.base.PlacementResult` — identity checks
+  (``result.action is DmaAction.HIT``) and equality still hold.
+* :class:`DiskManipulationAlgorithm` subclasses ``WholeTitleDma`` with
+  the same constructor signature and behaviour, emitting a
+  :class:`DeprecationWarning` on construction.
 
-Two faithful quirks of the pseudocode are preserved (and unit-tested):
-
-1. A video stored because it fit immediately receives **no** point on that
-   request — only already-cached or non-fitting videos are pointed.
-2. The eviction branch deletes exactly one victim; if the newcomer still
-   does not fit, the victim stays lost and the newcomer stays uncached.
-   The ``evict_until_fits`` extension keeps evicting while the comparison
-   still holds (see DESIGN.md X2 ablation).
+New code should import from :mod:`repro.placement` directly.
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Set, Tuple
+import warnings
+from typing import Callable, Optional
 
+from repro.placement.base import PlacementAction, PlacementResult
+from repro.placement.whole_title import WholeTitleDma
 from repro.storage.array import DiskArray
 from repro.storage.cache import PopularityTracker
-from repro.storage.video import VideoTitle
+
+#: Deprecated alias of :class:`repro.placement.base.PlacementAction`.
+DmaAction = PlacementAction
+
+#: Deprecated alias of :class:`repro.placement.base.PlacementResult`.
+DmaResult = PlacementResult
 
 
-class DmaAction(enum.Enum):
-    """What one DMA pass did."""
+class DiskManipulationAlgorithm(WholeTitleDma):
+    """Deprecated name for :class:`repro.placement.whole_title.WholeTitleDma`.
 
-    #: Video was already cached; it received a point.
-    HIT = "hit"
-    #: Video fit immediately and was written to the disks.
-    STORED = "stored"
-    #: Video did not fit and did not out-score the least popular title.
-    POINT_ONLY = "point_only"
-    #: A victim was evicted and the video was written.
-    REPLACED = "replaced"
-    #: Victim(s) evicted, yet the video still did not fit.
-    EVICTED_NOT_STORED = "evicted_not_stored"
-
-
-@dataclass(frozen=True)
-class DmaResult:
-    """Outcome of one DMA pass.
-
-    Attributes:
-        title_id: The requested video.
-        action: Which Figure 2 branch executed.
-        points: The video's points after the pass.
-        evicted: Title ids removed from the cache by this pass.
-        cached: True if the video is on disk after the pass.
-    """
-
-    title_id: str
-    action: DmaAction
-    points: int
-    evicted: Tuple[str, ...] = ()
-    cached: bool = False
-
-
-class DiskManipulationAlgorithm:
-    """Figure 2, bound to one server's disk array.
-
-    Args:
-        array: The server's striped disk array.
-        tracker: Popularity state; a fresh tracker is created if omitted.
-        on_store: Callback invoked with a title id after it is written
-            (the service advertises the title in the database here).
-        on_evict: Callback invoked with a title id after it is deleted
-            (the service withdraws the advertisement here).
-        evict_until_fits: Extension — keep evicting successive least-popular
-            victims while the newcomer still out-scores them and still does
-            not fit.  Default False = exact Figure 2 behaviour.
+    Same constructor, same Figure 2 behaviour.  A server running this
+    shim also mirrors its ``placement.*`` telemetry under the historical
+    ``dma.*`` names (see ``VideoServer.attach_metrics``).
     """
 
     def __init__(
@@ -87,103 +50,17 @@ class DiskManipulationAlgorithm:
         on_evict: Optional[Callable[[str], None]] = None,
         evict_until_fits: bool = False,
     ):
-        self.array = array
-        self.tracker = tracker if tracker is not None else PopularityTracker()
-        self._on_store = on_store
-        self._on_evict = on_evict
-        self.evict_until_fits = evict_until_fits
-        self.pass_count = 0
-        #: Title ids exempt from eviction.  Figure 2 has no such notion —
-        #: it will happily delete the only copy of a title in the whole
-        #: network — so this set is empty unless the deployment opts into
-        #: the seed-pinning extension (ServiceConfig.pin_seeded_titles).
-        self.pinned: Set[str] = set()
-
-    # ------------------------------------------------------------------ #
-    def seed(self, video: VideoTitle) -> None:
-        """Pre-load a video outside the DMA loop (service initialisation:
-        "The video titles available on each VoD server").
-
-        Raises:
-            StorageError: If the video does not fit.
-        """
-        self.array.store(video)
-        self.tracker.track(video.title_id)
-        if self._on_store is not None:
-            self._on_store(video.title_id)
-
-    def on_request(self, video: VideoTitle) -> DmaResult:
-        """Run one Figure 2 pass for a video the server begins serving."""
-        self.pass_count += 1
-        if self.array.has_video(video.title_id):
-            points = self.tracker.give_point(video.title_id)
-            return DmaResult(
-                title_id=video.title_id, action=DmaAction.HIT, points=points, cached=True
-            )
-
-        if self.array.can_store(video):
-            self._store(video)
-            return DmaResult(
-                title_id=video.title_id,
-                action=DmaAction.STORED,
-                points=self.tracker.points_of(video.title_id),
-                cached=True,
-            )
-
-        points = self.tracker.give_point(video.title_id)
-        evicted = self._try_replacement(video)
-        if self.array.has_video(video.title_id):
-            action = DmaAction.REPLACED
-        elif evicted:
-            action = DmaAction.EVICTED_NOT_STORED
-        else:
-            action = DmaAction.POINT_ONLY
-        return DmaResult(
-            title_id=video.title_id,
-            action=action,
-            points=points,
-            evicted=tuple(evicted),
-            cached=self.array.has_video(video.title_id),
+        warnings.warn(
+            "DiskManipulationAlgorithm is deprecated; use "
+            "repro.placement.WholeTitleDma (or ServiceConfig.placement / "
+            "--placement=dma) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-
-    # ------------------------------------------------------------------ #
-    def cached_title_ids(self) -> List[str]:
-        """Ids currently cached on the array, sorted."""
-        return self.array.stored_title_ids()
-
-    def points_of(self, title_id: str) -> int:
-        """Current popularity points of a title."""
-        return self.tracker.points_of(title_id)
-
-    # ------------------------------------------------------------------ #
-    def _try_replacement(self, video: VideoTitle) -> List[str]:
-        """The eviction branch of Figure 2; returns evicted title ids."""
-        evicted: List[str] = []
-        while True:
-            candidates = [
-                tid for tid in self.array.stored_title_ids() if tid not in self.pinned
-            ]
-            victim = self.tracker.least_popular(candidates)
-            if victim is None:
-                break
-            if not (self.tracker.points_of(video.title_id) > self.tracker.points_of(victim)):
-                break
-            self._evict(victim)
-            evicted.append(victim)
-            if self.array.can_store(video):
-                self._store(video)
-                break
-            if not self.evict_until_fits:
-                break  # exact Figure 2: one victim only
-        return evicted
-
-    def _store(self, video: VideoTitle) -> None:
-        self.array.store(video)
-        self.tracker.track(video.title_id)
-        if self._on_store is not None:
-            self._on_store(video.title_id)
-
-    def _evict(self, title_id: str) -> None:
-        self.array.remove(title_id)
-        if self._on_evict is not None:
-            self._on_evict(title_id)
+        super().__init__(
+            array,
+            tracker=tracker,
+            on_store=on_store,
+            on_evict=on_evict,
+            evict_until_fits=evict_until_fits,
+        )

@@ -57,8 +57,10 @@ from repro.errors import (
 from repro.network.flows import FlowManager
 from repro.network.link import STATE_CHANGE, Link
 from repro.network.node import Node
+from repro.network.routing.paths import Path
 from repro.network.topology import Topology
 from repro.obs.phase import PhaseProfiler
+from repro.placement.base import PlacementConfig
 from repro.obs.registry import MetricsRegistry
 from repro.obs.sampler import DEFAULT_SERIES_CAPACITY, TelemetrySampler
 from repro.obs.spans import SessionSpan
@@ -123,6 +125,15 @@ class ServiceConfig:
             admitting it at a degraded rate.  Blocked requests fail with
             a ``qos-blocked:`` reason.  Default off = paper behaviour.
         evict_until_fits: DMA extension (DESIGN.md X2); default off.
+            Honoured by the default whole-title placement; ignored when
+            ``placement`` is set explicitly (the config object carries
+            its own knob).
+        placement: Declarative placement-policy choice
+            (:class:`~repro.placement.base.PlacementConfig`): whole-title
+            DMA (default), prefix replication, or popularity-weighted
+            partial caching, plus per-policy knobs.  ``None`` resolves to
+            the paper-faithful DMA honouring ``evict_until_fits`` — the
+            byte-identical default path.
         pin_seeded_titles: Seed-pinning extension: initialisation-phase
             titles are exempt from cache eviction so the DMA can never
             delete a title's last network-wide copy.  Default True — a
@@ -238,6 +249,7 @@ class ServiceConfig:
     strict_qos_admission: bool = False
     evict_until_fits: bool = False
     pin_seeded_titles: bool = True
+    placement: Optional[PlacementConfig] = None
     vra_trace: bool = False
     routing_cache_size: int = 128
     routing_delta_updates: bool = True
@@ -261,6 +273,14 @@ class ServiceConfig:
     #: {disk_count, disk_capacity_mb, max_streams}.  Unlisted nodes use
     #: the uniform values above.
     server_overrides: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def resolved_placement(self) -> PlacementConfig:
+        """The effective placement config: the explicit object when set,
+        otherwise the paper-faithful whole-title DMA honouring the legacy
+        ``evict_until_fits`` knob."""
+        if self.placement is not None:
+            return self.placement
+        return PlacementConfig(kind="dma", evict_until_fits=self.evict_until_fits)
 
     def retry_policy(self) -> RetryPolicy:
         """The session retry policy these knobs describe (shared NO_RETRY
@@ -298,9 +318,10 @@ class VoDService:
         self.topology = topology
         self.config = config if config is not None else ServiceConfig()
         #: Structured event trace (disabled by default); categories:
-        #: request.submitted / request.blocked, vra.decision, dma.pass,
-        #: session.finished, service.expanded, plus the span.* categories
-        #: of the observability layer.
+        #: request.submitted / request.blocked, vra.decision,
+        #: placement.pass (plus the legacy dma.pass alias under the
+        #: deprecated shim), session.finished, service.expanded, and the
+        #: span.* categories of the observability layer.
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         #: The telemetry instrument registry.  Disabled (all no-ops)
         #: unless ``config.observability`` is set or an enabled registry
@@ -346,6 +367,9 @@ class VoDService:
         ] = {}
         self._register_service_instruments()
 
+        #: Deployment-wide placement-policy choice, resolved once; every
+        #: server (including runtime-added ones) builds its policy from it.
+        self.placement_config = self.config.resolved_placement()
         # Overrides may name nodes that do not exist *yet*: they apply
         # when that node joins via add_server (runtime expansion).
         self.servers: Dict[str, VideoServer] = {}
@@ -358,8 +382,8 @@ class VoDService:
                 disk_capacity_mb=hardware["disk_capacity_mb"],
                 cluster_mb=self.config.cluster_mb,
                 max_streams=hardware["max_streams"],
-                evict_until_fits=self.config.evict_until_fits,
                 pin_seeded=self.config.pin_seeded_titles,
+                placement=self.placement_config,
             )
             self.servers[node.uid] = server
             server.on_availability_change = self._bump_availability
@@ -757,8 +781,8 @@ class VoDService:
             disk_capacity_mb=hardware["disk_capacity_mb"],
             cluster_mb=self.config.cluster_mb,
             max_streams=hardware["max_streams"],
-            evict_until_fits=self.config.evict_until_fits,
             pin_seeded=self.config.pin_seeded_titles,
+            placement=self.placement_config,
         )
         self.servers[node.uid] = server
         server.on_availability_change = self._bump_availability
@@ -859,7 +883,7 @@ class VoDService:
                 # are reproduced exactly: beyond the routing epoch (synced
                 # inside the VRA), each holder's poll answer is a function of
                 # its (online, title-resident, headroom-bucket) signature.
-                holders = self.database.servers_with_title(title_id)
+                holders = self.database.servers_with_title(title_id, min_fraction=1.0)
                 cache_key = (
                     home_uid,
                     title_id,
@@ -867,7 +891,10 @@ class VoDService:
                     self.qos_class_of(title_id) if self.qos_class_of is not None else None,
                 )
             else:
-                holders = self.database.servers_with_title(title_id)
+                # Full holders only: a server advertising a prefix fraction
+                # cannot source a whole remote stream, so the VRA prefers
+                # full holders by construction.
+                holders = self.database.servers_with_title(title_id, min_fraction=1.0)
             started = perf_counter() if self._obs_enabled else 0.0
             decision = self.vra.decide(
                 home_uid,
@@ -1094,7 +1121,7 @@ class VoDService:
         dma_result = home_server.on_download_begins(video)
         self.tracer.record(
             self.sim.now,
-            "dma.pass",
+            "placement.pass",
             f"{home_uid}: {title_id} -> {dma_result.action.value} "
             f"(points {dma_result.points}, evicted {list(dma_result.evicted)})",
             home_uid=home_uid,
@@ -1102,7 +1129,23 @@ class VoDService:
             action=dma_result.action.value,
             points=dma_result.points,
             evicted=list(dma_result.evicted),
+            resident_fraction=dma_result.resident_fraction,
         )
+        if self.tracer.enabled and home_server.legacy_policy:
+            # Back-compat alias: deployments still constructing the
+            # deprecated DiskManipulationAlgorithm shim keep seeing the
+            # historical trace family alongside the new one.
+            self.tracer.record(
+                self.sim.now,
+                "dma.pass",
+                f"{home_uid}: {title_id} -> {dma_result.action.value} "
+                f"(points {dma_result.points}, evicted {list(dma_result.evicted)})",
+                home_uid=home_uid,
+                title_id=title_id,
+                action=dma_result.action.value,
+                points=dma_result.points,
+                evicted=list(dma_result.evicted),
+            )
         dma_stored = dma_result.cached and dma_result.action.value != "hit"
         self._m_requests.inc()
         span: Optional[SessionSpan] = None
@@ -1187,6 +1230,14 @@ class VoDService:
             # Wrap *outside* decide_wrapper so the span sees the decision
             # the session actually uses (e.g. NeverSwitch's frozen one).
             decide = self._span_decide(decide, span)
+        decide_for_cluster = None
+        if self.placement_config.fractional:
+            # Prefix-serving fast path: while a requested cluster is
+            # resident on the home server's healthy disks and a stream
+            # slot is free, serve it locally; the VRA routes the suffix.
+            decide_for_cluster = self._prefix_cluster_decider(
+                home_uid, title_id, decide
+            )
 
         return StreamingSession(
             sim=self.sim,
@@ -1196,6 +1247,7 @@ class VoDService:
             decide=decide,
             flows=self.flows,
             servers=self.servers,
+            decide_for_cluster=decide_for_cluster,
             local_read_mbps=self.config.local_read_mbps,
             rate_update_period_s=self.config.rate_update_period_s,
             retry=self._retry_policy,
@@ -1206,6 +1258,37 @@ class VoDService:
             on_retry=self._note_retry,
             on_recover=self._note_recovery,
         )
+
+    def _prefix_cluster_decider(
+        self,
+        home_uid: str,
+        title_id: str,
+        decide: Callable[[], VraDecision],
+    ) -> Callable[[int], VraDecision]:
+        """Per-cluster decision function for fractional placements: local
+        serve while the cluster is resident at home, VRA otherwise."""
+
+        def decide_cluster(cluster_index: int) -> VraDecision:
+            home = self.servers[home_uid]
+            # serves_segment excludes a full store whose download is still
+            # in flight (pending advertisement): those bytes arrive via
+            # this very session, so they cannot source it.
+            if (
+                home.online
+                and home.admission.has_capacity
+                and home.serves_segment(title_id)
+                and home.array.cluster_servable(title_id, cluster_index)
+            ):
+                return VraDecision(
+                    title_id=title_id,
+                    home_uid=home_uid,
+                    chosen_uid=home_uid,
+                    served_locally=True,
+                    path=Path(nodes=(home_uid,), cost=0.0),
+                )
+            return decide()
+
+        return decide_cluster
 
     def _note_retry(self, wait_s: float) -> None:
         """Session callback: one cluster-boundary retry was taken."""

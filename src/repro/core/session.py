@@ -182,6 +182,12 @@ class StreamingSession:
         decide: Re-runs the VRA for this request and returns the current
             decision; called once per cluster ("the routing algorithm also
             continues to run at the connecting server").
+        decide_for_cluster: Optional cluster-aware decision function
+            ``f(cluster_index) -> VraDecision`` used *instead of*
+            ``decide`` when set.  Fractional placement policies install
+            one so prefix-resident clusters serve from the home server
+            while the suffix routes through the VRA.  None (default)
+            keeps the paper's index-blind per-cluster decide.
         flows: Bandwidth reservation manager for the topology.
         servers: Video servers by node uid (for admission bookkeeping).
         local_read_mbps: Transfer rate for home-server serves.
@@ -205,6 +211,7 @@ class StreamingSession:
         decide: DecideFn,
         flows: FlowManager,
         servers: Dict[str, VideoServer],
+        decide_for_cluster: Optional[Callable[[int], VraDecision]] = None,
         local_read_mbps: float = DEFAULT_LOCAL_READ_MBPS,
         rate_update_period_s: float = DEFAULT_RATE_UPDATE_PERIOD_S,
         retry: RetryPolicy = NO_RETRY,
@@ -221,6 +228,7 @@ class StreamingSession:
         self._video = video
         self._cluster_sizes = cluster_sizes(video.size_mb, cluster_mb)
         self._decide = decide
+        self._decide_for_cluster = decide_for_cluster
         self._flows = flows
         self._servers = servers
         self._local_read_mbps = local_read_mbps
@@ -240,10 +248,11 @@ class StreamingSession:
         previous_server: Optional[str] = None
         try:
             for index, size_mb in enumerate(self._cluster_sizes):
+                get_decision = self._decider_for(index)
                 if self._retry.enabled:
-                    decision = yield from self._decide_with_retry()
+                    decision = yield from self._decide_with_retry(get_decision)
                 else:
-                    decision = self._decide()
+                    decision = get_decision()
                 server_uid = decision.chosen_uid
                 switched = previous_server is not None and server_uid != previous_server
                 if switched:
@@ -260,7 +269,16 @@ class StreamingSession:
         self._finish()
         return self.record
 
-    def _decide_with_retry(self) -> Generator[Delay, None, VraDecision]:
+    def _decider_for(self, index: int) -> DecideFn:
+        """The decision function for one cluster: index-aware when a
+        fractional placement installed one, the plain VRA call otherwise."""
+        if self._decide_for_cluster is None:
+            return self._decide
+        return lambda: self._decide_for_cluster(index)
+
+    def _decide_with_retry(
+        self, get_decision: DecideFn
+    ) -> Generator[Delay, None, VraDecision]:
         """One cluster-boundary decision under the retry policy.
 
         Transient routing failures — every holder crashed or polled out,
@@ -276,7 +294,7 @@ class StreamingSession:
         tries = 0
         while True:
             try:
-                decision = self._decide()
+                decision = get_decision()
             except RoutingError as exc:
                 if tries >= policy.attempts:
                     raise

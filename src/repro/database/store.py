@@ -10,7 +10,7 @@ have the requested video title" step reads.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List, Set, Tuple
 
 from repro.changes import ChangeJournal
 from repro.database.access import AccessLevel, DatabaseHandle
@@ -26,6 +26,10 @@ class ServiceDatabase:
         self._links: Dict[str, LinkEntry] = {}
         self._titles: Dict[str, TitleInfo] = {}
         self._title_locations: Dict[str, Set[str]] = {}
+        #: Resident fraction per (title, server) advertisement, stored only
+        #: when below 1.0 — servers registered through ``ServerEntry``
+        #: title sets and plain advertisements are full holders by default.
+        self._holder_fractions: Dict[Tuple[str, str], float] = {}
         self._locations_version = 0
         self._link_stats_version = 0
         #: Journal of links whose *routing-visible* reported value moved.
@@ -142,21 +146,51 @@ class ServiceDatabase:
     def has_title(self, title_id: str) -> bool:
         return title_id in self._titles
 
-    def servers_with_title(self, title_id: str) -> List[str]:
-        """Uids of servers advertising a title, sorted for determinism."""
-        self.title_info(title_id)  # raise MissingEntryError on unknown title
-        return sorted(self._title_locations.get(title_id, ()))
+    def servers_with_title(self, title_id: str, min_fraction: float = 0.0) -> List[str]:
+        """Uids of servers advertising a title, sorted for determinism.
 
-    def add_title_to_server(self, server_uid: str, title_id: str) -> None:
-        """Advertise a title on a server (DMA cache admission)."""
+        Args:
+            title_id: The title to look up.
+            min_fraction: Keep only holders advertising at least this
+                resident fraction.  The VRA passes 1.0 so prefix holders
+                never enter the full-holder candidate list; the default
+                0.0 returns every advertisement.
+        """
+        self.title_info(title_id)  # raise MissingEntryError on unknown title
+        holders = self._title_locations.get(title_id, ())
+        if min_fraction <= 0.0 or not self._holder_fractions:
+            return sorted(holders)
+        return sorted(
+            uid
+            for uid in holders
+            if self._holder_fractions.get((title_id, uid), 1.0)
+            >= min_fraction - 1e-9
+        )
+
+    def add_title_to_server(
+        self, server_uid: str, title_id: str, fraction: float = 1.0
+    ) -> None:
+        """Advertise a title on a server (placement-policy cache admission).
+
+        Args:
+            server_uid: The advertising server.
+            title_id: The admitted title.
+            fraction: Resident fraction advertised; below 1.0 marks a
+                prefix/partial holder (re-advertising updates the
+                fraction; reaching 1.0 promotes to a full holder).
+        """
         entry = self.server_entry(server_uid)
         self.title_info(title_id)
         entry.title_ids.add(title_id)
         self._title_locations.setdefault(title_id, set()).add(server_uid)
+        if fraction >= 1.0 - 1e-9:
+            self._holder_fractions.pop((title_id, server_uid), None)
+        else:
+            self._holder_fractions[(title_id, server_uid)] = fraction
         self._locations_version += 1
 
     def remove_title_from_server(self, server_uid: str, title_id: str) -> None:
-        """Withdraw a title from a server (DMA cache eviction).
+        """Withdraw a title from a server (placement-policy cache eviction).
 
         Raises:
             MissingEntryError: If the server does not advertise the title.
@@ -170,7 +204,21 @@ class ServiceDatabase:
         holders = self._title_locations.get(title_id)
         if holders:
             holders.discard(server_uid)
+        self._holder_fractions.pop((title_id, server_uid), None)
         self._locations_version += 1
+
+    def holds_title(self, server_uid: str, title_id: str) -> bool:
+        """True when the server currently advertises the title (any
+        fraction)."""
+        return server_uid in self._title_locations.get(title_id, ())
+
+    def holder_fraction(self, title_id: str, server_uid: str) -> float:
+        """Advertised resident fraction of a holder: 1.0 for a full holder
+        (including pre-fraction advertisements), the advertised fraction
+        for a prefix/partial holder, 0.0 for a non-holder."""
+        if server_uid not in self._title_locations.get(title_id, ()):
+            return 0.0
+        return self._holder_fractions.get((title_id, server_uid), 1.0)
 
     def server_title_ids(self, server_uid: str) -> Set[str]:
         """Copy of the title-id set advertised by one server."""

@@ -4,6 +4,8 @@
   the GRNET backbone, with paper-vs-computed diffing;
 * :mod:`repro.experiments.harness` — service-level experiment runner used
   by the comparison/ablation benchmarks (X1-X4 in DESIGN.md);
+* :mod:`repro.experiments.placement` — placement-policy comparison (DMA
+  vs prefix vs popularity-weighted partial) with replay/equivalence gates;
 * :mod:`repro.experiments.report` — ASCII table rendering in the paper's
   layouts;
 * :mod:`repro.experiments.resilience` — seeded fault-storm (chaos) runs
@@ -22,6 +24,13 @@ from repro.experiments.casestudy import (
     table3_deltas,
 )
 from repro.experiments.harness import ServiceExperiment, SweepResult, run_service_experiment
+from repro.experiments.placement import (
+    PlacementComparison,
+    PlacementOutcome,
+    render_placement_comparison,
+    run_placement_experiment,
+    session_fingerprint,
+)
 from repro.experiments.resilience import (
     ResilienceReport,
     ResilienceRun,
@@ -40,6 +49,8 @@ __all__ = [
     "EXPERIMENTS",
     "ExperimentOutcome",
     "ExperimentSpec",
+    "PlacementComparison",
+    "PlacementOutcome",
     "ResilienceReport",
     "ResilienceRun",
     "ServiceExperiment",
@@ -48,13 +59,16 @@ __all__ = [
     "compute_table3_lvn",
     "render_dijkstra_trace",
     "render_experiment",
+    "render_placement_comparison",
     "render_resilience_report",
     "render_table",
     "render_table2",
     "render_table3",
     "run_experiment",
+    "run_placement_experiment",
     "run_resilience_experiment",
     "run_service_experiment",
+    "session_fingerprint",
     "table2_deltas",
     "table3_deltas",
 ]

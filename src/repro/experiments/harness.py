@@ -12,6 +12,7 @@ The policy knobs are strings so benchmark parameter sweeps stay declarative:
 ``selection``  ``"vra"`` | ``"random"`` | ``"minhop"`` | ``"static"``
                | ``"origin:<uid>"``
 ``cache``      ``"dma"`` | ``"dma-greedy"`` (evict_until_fits) |
+               ``"dma-legacy"`` (deprecated shim, dma.* telemetry) |
                ``"nocache"`` | ``"lru"`` | ``"fullrep"``
 ``switching``  ``"always"`` | ``"never"`` | ``"period:<n>"``
 =============  =====================================================
@@ -36,12 +37,12 @@ from repro.baselines.selection import (
     StaticNearestSelection,
 )
 from repro.baselines.switching import NeverSwitch, PeriodicRecompute
-from repro.core.dma import DiskManipulationAlgorithm
 from repro.core.service import ServiceConfig, VoDService
 from repro.errors import ReproError, ServiceError
 from repro.metrics.collectors import SessionMetrics, summarize_sessions
 from repro.network.grnet import build_grnet_topology
 from repro.network.topology import Topology
+from repro.placement.whole_title import WholeTitleDma
 from repro.sim.engine import Simulator
 from repro.sim.trace import Tracer
 from repro.workload.scenarios import WorkloadScenario
@@ -123,13 +124,23 @@ def _apply_selection(service: VoDService, key: str, seed: int) -> None:
         raise ReproError(f"unknown selection policy {key!r}")
 
 
+def _legacy_dma_factory(array, on_store, on_evict):
+    """The deprecated DiskManipulationAlgorithm shim — used by the
+    equivalence gate to prove shim-vs-policy byte-identity (and to keep
+    exercising the dma.* telemetry aliases)."""
+    from repro.core.dma import DiskManipulationAlgorithm
+
+    return DiskManipulationAlgorithm(array, on_store=on_store, on_evict=on_evict)
+
+
 def _apply_cache(service: VoDService, key: str) -> None:
     if key == "dma":
         return
     factories = {
-        "dma-greedy": lambda array, on_store, on_evict: DiskManipulationAlgorithm(
+        "dma-greedy": lambda array, on_store, on_evict: WholeTitleDma(
             array, on_store=on_store, on_evict=on_evict, evict_until_fits=True
         ),
+        "dma-legacy": _legacy_dma_factory,
         "nocache": NoCachePolicy,
         "lru": LruCachePolicy,
         "fullrep": FullReplicationPolicy,

@@ -1,0 +1,31 @@
+"""Placement policies: what each video server stores, and when.
+
+The paper's whole-title DMA (Figure 2) is one policy among several here;
+:class:`PlacementConfig` selects and parameterises the deployment-wide
+choice, and every server runs one :class:`PlacementPolicy` instance
+bound to its disk array.  See DESIGN.md § "Placement-policy subsystem".
+"""
+
+from repro.placement.base import (
+    PLACEMENT_KINDS,
+    FractionalPlacementPolicy,
+    PlacementAction,
+    PlacementConfig,
+    PlacementPolicy,
+    PlacementResult,
+)
+from repro.placement.partial import PopularityWeightedPartial
+from repro.placement.prefix import PrefixReplication
+from repro.placement.whole_title import WholeTitleDma
+
+__all__ = [
+    "FractionalPlacementPolicy",
+    "PLACEMENT_KINDS",
+    "PlacementAction",
+    "PlacementConfig",
+    "PlacementPolicy",
+    "PlacementResult",
+    "PopularityWeightedPartial",
+    "PrefixReplication",
+    "WholeTitleDma",
+]

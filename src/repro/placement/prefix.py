@@ -1,0 +1,113 @@
+"""Prefix replication: cache the first N minutes of hot titles.
+
+Per the optimal prefix-replication line of work (arXiv 1003.4049), a
+server keeps only the *leading segment* of popular titles — enough
+playback to mask the startup latency of fetching the suffix from a full
+holder elsewhere in the network.  Compared to whole-title DMA this trades
+a little suffix traffic for a far wider cache reach: where the DMA fits
+``capacity / title_size`` titles, prefix replication fits roughly
+``capacity / prefix_size``.
+
+Placement rules, per request:
+
+* full title resident -> HIT (point awarded), like the DMA;
+* otherwise award a point; once the title reaches ``hot_points`` points,
+  cut (or extend toward) a prefix of ``prefix_minutes`` of playback,
+  evicting strictly-less-popular residents for room;
+* titles shorter than the prefix window are stored whole — that is an
+  ordinary full store, advertised through the same deferred-download
+  path the DMA uses.
+
+Prefix segments are advertised to the database *fraction aware*
+(:meth:`ServiceDatabase.add_title_to_server` with ``fraction < 1``), so
+the VRA keeps routing remote requests to full holders only; the segment
+serves the local head-of-stream instead (the service's per-cluster
+decision fast path).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import CacheError
+from repro.placement.base import (
+    FractionalPlacementPolicy,
+    PartialHook,
+    PlacementAction,
+    PlacementResult,
+    StoreHook,
+)
+from repro.storage.array import DiskArray
+from repro.storage.cache import PopularityTracker
+from repro.storage.video import VideoTitle
+
+
+class PrefixReplication(FractionalPlacementPolicy):
+    """First-N-minutes prefix caching of hot titles.
+
+    Args:
+        array: The server's striped disk array.
+        tracker: Popularity state; a fresh tracker is created if omitted.
+        on_store: Full-copy advertisement hook (short titles stored whole).
+        on_evict: Withdrawal hook.
+        on_partial: Fraction-aware advertisement hook for prefix segments.
+        prefix_minutes: Playback minutes of prefix to keep for hot titles.
+        hot_points: Points a title must reach before its prefix is cut.
+    """
+
+    def __init__(
+        self,
+        array: DiskArray,
+        tracker: Optional[PopularityTracker] = None,
+        on_store: StoreHook = None,
+        on_evict: StoreHook = None,
+        on_partial: PartialHook = None,
+        prefix_minutes: float = 10.0,
+        hot_points: int = 2,
+    ):
+        if not (prefix_minutes > 0.0):
+            raise CacheError(f"prefix_minutes must be positive, got {prefix_minutes!r}")
+        if hot_points < 1:
+            raise CacheError(f"hot_points must be >= 1, got {hot_points!r}")
+        super().__init__(
+            array,
+            tracker=tracker,
+            on_store=on_store,
+            on_evict=on_evict,
+            on_partial=on_partial,
+        )
+        self.prefix_minutes = float(prefix_minutes)
+        self.hot_points = int(hot_points)
+
+    def target_fraction(self, video: VideoTitle) -> float:
+        """Fraction of ``video`` covered by the prefix window."""
+        if video.duration_s <= 0.0:
+            return 1.0
+        return min(1.0, (self.prefix_minutes * 60.0) / video.duration_s)
+
+    # ------------------------------------------------------------------ #
+    def _pass(self, video: VideoTitle) -> PlacementResult:
+        title_id = video.title_id
+        if self.array.has_video(title_id):
+            points = self.tracker.give_point(title_id)
+            return PlacementResult(
+                title_id=title_id,
+                action=PlacementAction.HIT,
+                points=points,
+                cached=True,
+                resident_fraction=1.0,
+            )
+
+        points = self.tracker.give_point(title_id)
+        current = self.array.resident_fraction(title_id)
+        target = self.target_fraction(video)
+        if points < self.hot_points or target <= current + 1e-9:
+            return PlacementResult(
+                title_id=title_id,
+                action=PlacementAction.POINT_ONLY,
+                points=points,
+                resident_fraction=current,
+            )
+
+        evicted = self._make_room(video, target)
+        return self._admit_fraction(video, target, points, evicted)

@@ -1,25 +1,37 @@
 """A video server at one network node.
 
-Combines the striped :class:`~repro.storage.array.DiskArray`, the
-:class:`~repro.core.dma.DiskManipulationAlgorithm` cache policy and an
-:class:`~repro.server.admission.AdmissionController`.  The database is kept
-in sync through the DMA's store/evict callbacks, so the VRA's
-"servers that have the video stored" list always reflects cache contents.
+Combines the striped :class:`~repro.storage.array.DiskArray`, a
+:class:`~repro.placement.base.PlacementPolicy` (whole-title DMA by
+default) and an :class:`~repro.server.admission.AdmissionController`.
+The database is kept in sync through the policy's store/evict/partial
+callbacks, so the VRA's "servers that have the video stored" list always
+reflects cache contents — fraction aware, full holders first.
 """
 
 from __future__ import annotations
 
 from typing import Callable, List, Optional, Set
 
-from repro.core.dma import DiskManipulationAlgorithm, DmaResult
 from repro.database.records import TitleInfo
 from repro.database.store import ServiceDatabase
 from repro.errors import StorageError
 from repro.obs.registry import NULL_COUNTER, MetricsRegistry
+from repro.placement.base import PlacementConfig, PlacementPolicy, PlacementResult
 from repro.server.admission import AdmissionController
 from repro.storage.array import DiskArray
-from repro.storage.cache import PopularityTracker
 from repro.storage.video import VideoTitle
+
+
+class _FanoutCounter:
+    """Mirror every increment onto several counters (the legacy ``dma.*``
+    telemetry alias when the deprecated shim is the active policy)."""
+
+    def __init__(self, *counters):
+        self._counters = counters
+
+    def inc(self, amount: float = 1.0) -> None:
+        for counter in self._counters:
+            counter.inc(amount)
 
 
 class VideoServer:
@@ -33,7 +45,10 @@ class VideoServer:
         disk_capacity_mb: Capacity of each disk.
         cluster_mb: Common striping cluster size ``c``.
         max_streams: Concurrent streams the server will source.
-        evict_until_fits: Forwarded to the DMA (extension; default off).
+        evict_until_fits: Forwarded to the default DMA placement policy
+            (extension; ignored when ``placement`` is given).
+        placement: Declarative placement-policy choice; None builds the
+            paper-faithful whole-title DMA honouring ``evict_until_fits``.
     """
 
     def __init__(
@@ -47,17 +62,20 @@ class VideoServer:
         evict_until_fits: bool = False,
         defer_dma_advertisements: bool = True,
         pin_seeded: bool = False,
+        placement: Optional[PlacementConfig] = None,
     ):
         self.node_uid = node_uid
         self._database = database
         self.array = DiskArray(disk_count, disk_capacity_mb, cluster_mb)
         self.admission = AdmissionController(max_streams)
-        self.dma = DiskManipulationAlgorithm(
+        if placement is None:
+            placement = PlacementConfig(kind="dma", evict_until_fits=evict_until_fits)
+        self.placement_config = placement
+        self.policy: PlacementPolicy = placement.build(
             self.array,
-            tracker=PopularityTracker(),
             on_store=self._advertise,
             on_evict=self._withdraw,
-            evict_until_fits=evict_until_fits,
+            on_partial=self._advertise_partial,
         )
         self._online = True
         #: Monotonic counter of online/offline transitions.  Value-aware:
@@ -92,15 +110,19 @@ class VideoServer:
         self._m_serves = NULL_COUNTER
         self._m_dma_stores = NULL_COUNTER
         self._m_dma_evictions = NULL_COUNTER
+        self._m_prefix_stores = NULL_COUNTER
+        self._registry: Optional[MetricsRegistry] = None
 
     def attach_metrics(self, registry: MetricsRegistry) -> None:
         """Resolve this server's telemetry counters from a registry.
 
         Creates per-server ``server.serves`` / ``server.dma_stores`` /
-        ``server.dma_evictions`` counters and, when the cache policy has
-        a popularity tracker, wires its point counter.  Safe to call on a
-        disabled registry (everything stays a no-op).
+        ``server.dma_evictions`` / ``placement.prefix_stores`` counters
+        and wires the placement policy's instruments (point counter,
+        lost-victim counter).  Safe to call on a disabled registry
+        (everything stays a no-op).
         """
+        self._registry = registry
         labels = {"server": self.node_uid}
         self._m_serves = registry.counter(
             "server.serves", subsystem="server", labels=labels,
@@ -108,17 +130,48 @@ class VideoServer:
         )
         self._m_dma_stores = registry.counter(
             "server.dma_stores", subsystem="server", labels=labels,
-            description="titles the cache policy stored locally",
+            description="titles the placement policy stored locally",
         )
         self._m_dma_evictions = registry.counter(
             "server.dma_evictions", subsystem="server", labels=labels,
-            description="titles the cache policy evicted",
+            description="titles the placement policy evicted",
         )
-        tracker = getattr(self.dma, "tracker", None)
+        self._m_prefix_stores = registry.counter(
+            "placement.prefix_stores", subsystem="server", labels=labels,
+            description="prefix/partial segments the placement policy stored",
+        )
+        self._wire_policy_metrics()
+
+    def _wire_policy_metrics(self) -> None:
+        """Point the active policy's instruments at the attached registry
+        (re-run whenever the policy is swapped)."""
+        registry = self._registry
+        if registry is None:
+            return
+        labels = {"server": self.node_uid}
+        tracker = getattr(self.policy, "tracker", None)
         if tracker is not None:
-            tracker.points_counter = registry.counter(
-                "dma.points_awarded", subsystem="server", labels=labels,
-                description="popularity points awarded by the DMA",
+            points = registry.counter(
+                "placement.points_awarded", subsystem="server", labels=labels,
+                description="popularity points awarded by the placement policy",
+            )
+            if self.legacy_policy:
+                # Deprecated-shim deployments keep seeing the historical
+                # dma.* family alongside the new one.
+                points = _FanoutCounter(
+                    points,
+                    registry.counter(
+                        "dma.points_awarded", subsystem="server", labels=labels,
+                        description="popularity points awarded by the DMA "
+                        "(legacy alias of placement.points_awarded)",
+                    ),
+                )
+            tracker.points_counter = points
+        if hasattr(self.policy, "lost_victim_counter"):
+            self.policy.lost_victim_counter = registry.counter(
+                "placement.lost_victims", subsystem="server", labels=labels,
+                description="eviction passes that deleted victim(s) without "
+                "storing the newcomer",
             )
 
     # ------------------------------------------------------------------ #
@@ -152,13 +205,33 @@ class VideoServer:
     # ------------------------------------------------------------------ #
     # cache-policy plumbing
     # ------------------------------------------------------------------ #
+    @property
+    def dma(self) -> PlacementPolicy:
+        """Historical name for the active placement policy (the default
+        policy *is* the paper's DMA, so existing call sites read on)."""
+        return self.policy
+
+    @dma.setter
+    def dma(self, policy: PlacementPolicy) -> None:
+        self.policy = policy
+        self._wire_policy_metrics()
+
+    @property
+    def legacy_policy(self) -> bool:
+        """True when the active policy came in through the deprecated
+        ``DiskManipulationAlgorithm`` shim (drives dma.* telemetry and
+        trace aliases)."""
+        from repro.core.dma import DiskManipulationAlgorithm
+
+        return isinstance(self.policy, DiskManipulationAlgorithm)
+
     def set_cache_policy(self, factory) -> None:
-        """Swap the DMA for a baseline cache policy.
+        """Swap the placement policy for a baseline cache policy.
 
         Args:
             factory: Callable ``factory(array, on_store, on_evict)``
-                returning an object with the DMA surface (``on_request``,
-                ``seed``) — e.g. the classes in
+                returning an object with the policy surface
+                (``on_request``, ``seed``) — e.g. the classes in
                 :mod:`repro.baselines.caching`.  Must be called before any
                 titles are seeded or requested, so the old policy holds no
                 state worth migrating.
@@ -199,6 +272,11 @@ class VideoServer:
         """Locally resident title ids, sorted."""
         return self.array.stored_title_ids()
 
+    def serves_segment(self, title_id: str) -> bool:
+        """True when this server can source at least the leading clusters
+        of the title — a full servable copy or a healthy prefix segment."""
+        return self.has_title(title_id) or self.array.segment_servable(title_id)
+
     # ------------------------------------------------------------------ #
     # serving
     # ------------------------------------------------------------------ #
@@ -213,10 +291,11 @@ class VideoServer:
             The admission lease to release when the stream ends.
 
         Raises:
-            StorageError: If the title is not resident.
+            StorageError: If the title is not resident (neither a full
+                servable copy nor a prefix segment).
             AdmissionError: If the server is at stream capacity.
         """
-        if not self.has_title(title_id):
+        if not self.serves_segment(title_id):
             raise StorageError(
                 f"server {self.node_uid!r} asked to serve non-resident "
                 f"title {title_id!r}"
@@ -231,17 +310,18 @@ class VideoServer:
         self.admission.release(lease)
 
     # ------------------------------------------------------------------ #
-    # DMA entry point
+    # placement entry point
     # ------------------------------------------------------------------ #
-    def on_download_begins(self, video: VideoTitle) -> DmaResult:
+    def on_download_begins(self, video: VideoTitle) -> PlacementResult:
         """Figure 2 trigger: "Server has begun downloading a video".
 
         Called by the service whenever a client attached to this server
         requests ``video`` (whether it is then served locally or fetched
-        from a remote server, the local server sees the download).
+        from a remote server, the local server sees the download).  Runs
+        one pass of the active placement policy.
         """
         self._register_catalog_info(video)
-        return self.dma.on_request(video)
+        return self.policy.on_request(video)
 
     def commit_download(self, title_id: str) -> None:
         """The deferred download of ``title_id`` completed: advertise it."""
@@ -257,6 +337,11 @@ class VideoServer:
             self._touch_availability()
             if self.array.has_video(title_id):
                 self.array.remove(title_id)
+            if self._database.holds_title(self.node_uid, title_id):
+                # A fractional policy promoted a previously-advertised
+                # prefix to a full store; the full bytes are gone, so the
+                # stale prefix advertisement goes with them.
+                self._database.remove_title_from_server(self.node_uid, title_id)
 
     def pending_title_ids(self) -> List[str]:
         """Titles stored by the DMA whose downloads are still in flight."""
@@ -282,12 +367,25 @@ class VideoServer:
         else:
             self._database.add_title_to_server(self.node_uid, title_id)
 
+    def _advertise_partial(self, title_id: str, fraction: float) -> None:
+        """Advertise a prefix/partial segment, fraction aware and
+        immediately — segment fills are modelled as instantaneous
+        background transfers, and the VRA's full-holder filter keeps
+        remote requests away regardless."""
+        self._m_prefix_stores.inc()
+        self._touch_availability()
+        self._database.add_title_to_server(self.node_uid, title_id, fraction=fraction)
+
     def _withdraw(self, title_id: str) -> None:
         self._m_dma_evictions.inc()
         self._touch_availability()
         if title_id in self._pending_advertisements:
-            # Evicted before its download finished: it was never advertised.
+            # Evicted before its download finished: it was never advertised
+            # as a full copy — but a fractional policy may have advertised
+            # the prefix it grew from.
             self._pending_advertisements.discard(title_id)
+            if self._database.holds_title(self.node_uid, title_id):
+                self._database.remove_title_from_server(self.node_uid, title_id)
         else:
             self._database.remove_title_from_server(self.node_uid, title_id)
 

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Set, TextIO
 #: categories register themselves on first record.
 _REGISTERED_CATEGORIES: Set[str] = {
     "dma.pass",
+    "placement.pass",
     "request.blocked",
     "request.submitted",
     "service.expanded",

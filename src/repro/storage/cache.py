@@ -57,6 +57,11 @@ class PopularityTracker:
         """Start tracking a title with 0 points (e.g. stored on arrival)."""
         self._ensure_tracked(title_id)
 
+    def total_points(self) -> int:
+        """Sum of points across all tracked titles (the denominator of
+        popularity-proportional placement shares)."""
+        return sum(self._points.values())
+
     def least_popular(self, among: Iterable[str]) -> Optional[str]:
         """The least-popular title of a candidate set.
 

@@ -7,7 +7,7 @@ from repro.baselines.caching import (
     LruCachePolicy,
     NoCachePolicy,
 )
-from repro.core.dma import DmaAction
+from repro.placement import PlacementAction
 from repro.storage.array import DiskArray
 from repro.storage.video import VideoTitle
 
@@ -25,14 +25,14 @@ class TestNoCache:
     def test_never_stores_on_request(self, array):
         policy = NoCachePolicy(array)
         result = policy.on_request(video("v"))
-        assert result.action is DmaAction.POINT_ONLY
+        assert result.action is PlacementAction.POINT_ONLY
         assert not array.has_video("v")
 
     def test_seeded_titles_hit(self, array):
         policy = NoCachePolicy(array)
         policy.seed(video("v"))
         result = policy.on_request(video("v"))
-        assert result.action is DmaAction.HIT
+        assert result.action is PlacementAction.HIT
 
     def test_points_still_counted(self, array):
         policy = NoCachePolicy(array)
@@ -44,8 +44,8 @@ class TestNoCache:
 class TestLru:
     def test_admits_everything_that_fits(self, array):
         policy = LruCachePolicy(array)
-        assert policy.on_request(video("a")).action is DmaAction.STORED
-        assert policy.on_request(video("b")).action is DmaAction.STORED
+        assert policy.on_request(video("a")).action is PlacementAction.STORED
+        assert policy.on_request(video("b")).action is PlacementAction.STORED
         assert array.stored_title_ids() == ["a", "b"]
 
     def test_evicts_least_recently_used(self, array):
@@ -54,7 +54,7 @@ class TestLru:
         policy.on_request(video("b"))
         policy.on_request(video("a"))  # refresh a
         result = policy.on_request(video("c"))
-        assert result.action is DmaAction.REPLACED
+        assert result.action is PlacementAction.REPLACED
         assert result.evicted == ("b",)
         assert array.stored_title_ids() == ["a", "c"]
 
@@ -72,7 +72,7 @@ class TestLru:
         policy.on_request(video("a", 100.0))
         policy.on_request(video("b", 100.0))
         result = policy.on_request(video("big", 150.0))
-        assert result.action is DmaAction.REPLACED
+        assert result.action is PlacementAction.REPLACED
         assert set(result.evicted) == {"a", "b"}
         assert array.stored_title_ids() == ["big"]
 
@@ -81,7 +81,7 @@ class TestLru:
         policy.on_request(video("a"))
         result = policy.on_request(video("huge", 500.0))
         assert not result.cached
-        assert result.action in (DmaAction.POINT_ONLY, DmaAction.EVICTED_NOT_STORED)
+        assert result.action in (PlacementAction.POINT_ONLY, PlacementAction.EVICTED_NOT_STORED)
 
     def test_seed_participates_in_recency(self, array):
         policy = LruCachePolicy(array)
@@ -94,9 +94,9 @@ class TestLru:
 class TestFullReplication:
     def test_stores_while_space_lasts(self, array):
         policy = FullReplicationPolicy(array)
-        assert policy.on_request(video("a")).action is DmaAction.STORED
-        assert policy.on_request(video("b")).action is DmaAction.STORED
-        assert policy.on_request(video("c")).action is DmaAction.POINT_ONLY
+        assert policy.on_request(video("a")).action is PlacementAction.STORED
+        assert policy.on_request(video("b")).action is PlacementAction.STORED
+        assert policy.on_request(video("c")).action is PlacementAction.POINT_ONLY
         assert array.stored_title_ids() == ["a", "b"]
 
     def test_never_evicts(self, array):
@@ -110,7 +110,7 @@ class TestFullReplication:
     def test_hits_on_stored(self, array):
         policy = FullReplicationPolicy(array)
         policy.on_request(video("a"))
-        assert policy.on_request(video("a")).action is DmaAction.HIT
+        assert policy.on_request(video("a")).action is PlacementAction.HIT
 
 
 class TestCallbacks:

@@ -1,8 +1,8 @@
-"""Unit tests for the Disk Manipulation Algorithm (paper Figure 2)."""
+"""Unit tests for the whole-title DMA placement policy (paper Figure 2)."""
 
 import pytest
 
-from repro.core.dma import DiskManipulationAlgorithm, DmaAction
+from repro.placement import PlacementAction, WholeTitleDma
 from repro.storage.array import DiskArray
 from repro.storage.video import VideoTitle
 
@@ -18,22 +18,22 @@ def array() -> DiskArray:
 
 
 @pytest.fixture
-def dma(array) -> DiskManipulationAlgorithm:
-    return DiskManipulationAlgorithm(array)
+def dma(array) -> WholeTitleDma:
+    return WholeTitleDma(array)
 
 
 class TestFigure2Branches:
     def test_cached_video_gets_a_point(self, dma):
         dma.on_request(video("v"))  # stored (fits)
         result = dma.on_request(video("v"))
-        assert result.action is DmaAction.HIT
+        assert result.action is PlacementAction.HIT
         assert result.points == 1
         assert result.cached
 
     def test_fitting_video_stored_without_point(self, dma):
         # Figure 2 quirk 1: the immediate-store branch gives no point.
         result = dma.on_request(video("v"))
-        assert result.action is DmaAction.STORED
+        assert result.action is PlacementAction.STORED
         assert result.points == 0
         assert dma.array.has_video("v")
 
@@ -43,7 +43,7 @@ class TestFigure2Branches:
         dma.on_request(video("a"))  # a: 1 point
         dma.on_request(video("b"))  # b: 1 point
         result = dma.on_request(video("c"))  # c: 1 point, not > 1
-        assert result.action is DmaAction.POINT_ONLY
+        assert result.action is PlacementAction.POINT_ONLY
         assert result.points == 1
         assert not result.cached
         assert dma.array.stored_title_ids() == ["a", "b"]
@@ -53,7 +53,7 @@ class TestFigure2Branches:
         dma.on_request(video("b"))
         dma.on_request(video("b"))  # b: 1 point; a: 0 points
         result = dma.on_request(video("c"))  # c: 1 point > a's 0
-        assert result.action is DmaAction.REPLACED
+        assert result.action is PlacementAction.REPLACED
         assert result.evicted == ("a",)
         assert dma.array.stored_title_ids() == ["b", "c"]
 
@@ -63,7 +63,7 @@ class TestFigure2Branches:
         dma.on_request(video("b"))  # stored, 0 points
         dma.on_request(video("b"))  # b: 1 point
         result = dma.on_request(video("c"))  # c: 1 point, not > 1
-        assert result.action is DmaAction.POINT_ONLY
+        assert result.action is PlacementAction.POINT_ONLY
         assert dma.array.stored_title_ids() == ["a", "b"]
 
     def test_popular_title_survives_replacement(self, dma):
@@ -72,7 +72,7 @@ class TestFigure2Branches:
         dma.on_request(video("a"))  # a: 2 points
         dma.on_request(video("b"))  # b stored, 0 points
         result = dma.on_request(video("c"))  # c: 1 > b: 0 -> b evicted
-        assert result.action is DmaAction.REPLACED
+        assert result.action is PlacementAction.REPLACED
         assert result.evicted == ("b",)
         assert dma.array.has_video("a")  # the popular title is untouched
 
@@ -96,46 +96,46 @@ class TestFigure2Branches:
         # Figure 2 quirk 2: one victim only; newcomer may stay uncached
         # and the victim stays lost.
         array = DiskArray(disk_count=1, disk_capacity_mb=100.0, cluster_mb=25.0)
-        dma = DiskManipulationAlgorithm(array)
+        dma = WholeTitleDma(array)
         dma.on_request(video("a", 50.0))
         dma.on_request(video("b", 50.0))
         big = video("big", 100.0)
         result = dma.on_request(big)  # big: 1 > a: 0 -> evict a; 50 free < 100
-        assert result.action is DmaAction.EVICTED_NOT_STORED
+        assert result.action is PlacementAction.EVICTED_NOT_STORED
         assert result.evicted == ("a",)
         assert not array.has_video("big")
         assert array.stored_title_ids() == ["b"]
 
     def test_evict_until_fits_extension(self):
         array = DiskArray(disk_count=1, disk_capacity_mb=100.0, cluster_mb=25.0)
-        dma = DiskManipulationAlgorithm(array, evict_until_fits=True)
+        dma = WholeTitleDma(array, evict_until_fits=True)
         dma.on_request(video("a", 50.0))
         dma.on_request(video("b", 50.0))
         result = dma.on_request(video("big", 100.0))  # 1 point beats both 0-point victims
-        assert result.action is DmaAction.REPLACED
+        assert result.action is PlacementAction.REPLACED
         assert set(result.evicted) == {"a", "b"}
         assert array.stored_title_ids() == ["big"]
 
     def test_evict_until_fits_stops_at_popular_victim(self):
         array = DiskArray(disk_count=1, disk_capacity_mb=100.0, cluster_mb=25.0)
-        dma = DiskManipulationAlgorithm(array, evict_until_fits=True)
+        dma = WholeTitleDma(array, evict_until_fits=True)
         dma.on_request(video("a", 50.0))
         dma.on_request(video("b", 50.0))
         for _ in range(5):
             dma.on_request(video("b"))  # b: 5 points
         result = dma.on_request(video("big", 100.0))  # 1 > a: 0 but not > b: 5
-        assert result.action is DmaAction.EVICTED_NOT_STORED
+        assert result.action is PlacementAction.EVICTED_NOT_STORED
         assert result.evicted == ("a",)
         assert array.stored_title_ids() == ["b"]
         # A later request re-points big but still cannot beat b.
         second = dma.on_request(video("big", 100.0))
-        assert second.action is DmaAction.POINT_ONLY
+        assert second.action is PlacementAction.POINT_ONLY
 
 
 class TestSeedAndCallbacks:
     def test_seed_stores_and_notifies(self, array):
         stored = []
-        dma = DiskManipulationAlgorithm(array, on_store=stored.append)
+        dma = WholeTitleDma(array, on_store=stored.append)
         dma.seed(video("v"))
         assert stored == ["v"]
         assert dma.points_of("v") == 0
@@ -143,7 +143,7 @@ class TestSeedAndCallbacks:
 
     def test_store_and_evict_callbacks_fire(self, array):
         stored, evicted = [], []
-        dma = DiskManipulationAlgorithm(array, on_store=stored.append, on_evict=evicted.append)
+        dma = WholeTitleDma(array, on_store=stored.append, on_evict=evicted.append)
         dma.on_request(video("a"))
         dma.on_request(video("b"))
         dma.on_request(video("c"))  # evicts a

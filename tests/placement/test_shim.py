@@ -1,0 +1,62 @@
+"""The deprecated repro.core.dma shim: importable, warns, identical."""
+
+import warnings
+
+import pytest
+
+from repro.placement import (
+    PlacementAction,
+    PlacementResult,
+    WholeTitleDma,
+)
+from repro.storage.array import DiskArray
+from repro.storage.video import VideoTitle
+
+
+def make_array() -> DiskArray:
+    return DiskArray(disk_count=2, disk_capacity_mb=100.0, cluster_mb=25.0)
+
+
+class TestShimSurface:
+    def test_aliases_are_the_new_types(self):
+        from repro.core.dma import DmaAction, DmaResult
+
+        assert DmaAction is PlacementAction
+        assert DmaResult is PlacementResult
+
+    def test_import_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            import repro.core.dma  # noqa: F401
+
+    def test_construction_warns(self):
+        from repro.core.dma import DiskManipulationAlgorithm
+
+        with pytest.warns(DeprecationWarning, match="WholeTitleDma"):
+            DiskManipulationAlgorithm(make_array())
+
+    def test_shim_is_a_whole_title_dma(self):
+        from repro.core.dma import DiskManipulationAlgorithm
+
+        with pytest.warns(DeprecationWarning):
+            shim = DiskManipulationAlgorithm(make_array(), evict_until_fits=True)
+        assert isinstance(shim, WholeTitleDma)
+        assert shim.evict_until_fits
+
+    def test_shim_behaviour_matches_default_policy(self):
+        from repro.core.dma import DiskManipulationAlgorithm
+
+        with pytest.warns(DeprecationWarning):
+            shim = DiskManipulationAlgorithm(make_array())
+        policy = WholeTitleDma(make_array())
+        stream = ["a", "b", "a", "c", "c", "b", "d", "a", "d", "d"]
+        for title_id in stream:
+            video = VideoTitle(title_id, size_mb=100.0, duration_s=600.0)
+            assert shim.on_request(video) == policy.on_request(video)
+        assert shim.cached_title_ids() == policy.cached_title_ids()
+
+    def test_top_level_export_still_resolves(self):
+        import repro
+
+        assert repro.DiskManipulationAlgorithm is not None
+        assert repro.DmaResult is PlacementResult

@@ -4,7 +4,7 @@ streams (paper Figure 2)."""
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.dma import DiskManipulationAlgorithm, DmaAction
+from repro.placement import PlacementAction, WholeTitleDma
 from repro.storage.array import DiskArray
 from repro.storage.video import VideoTitle
 
@@ -24,7 +24,7 @@ greedy_flags = st.booleans()
 @settings(max_examples=80, deadline=None)
 def test_capacity_never_exceeded(stream, greedy):
     array = DiskArray(disk_count=3, disk_capacity_mb=70.0, cluster_mb=20.0)
-    dma = DiskManipulationAlgorithm(array, evict_until_fits=greedy)
+    dma = WholeTitleDma(array, evict_until_fits=greedy)
     for title_id in stream:
         dma.on_request(video(title_id))
         for disk in array.disks():
@@ -35,7 +35,7 @@ def test_capacity_never_exceeded(stream, greedy):
 @settings(max_examples=80, deadline=None)
 def test_result_reflects_cache_state(stream, greedy):
     array = DiskArray(disk_count=3, disk_capacity_mb=70.0, cluster_mb=20.0)
-    dma = DiskManipulationAlgorithm(array, evict_until_fits=greedy)
+    dma = WholeTitleDma(array, evict_until_fits=greedy)
     for title_id in stream:
         result = dma.on_request(video(title_id))
         assert result.cached == array.has_video(title_id)
@@ -48,7 +48,7 @@ def test_eviction_only_of_strictly_less_popular(stream):
     """Every evicted victim had strictly fewer points than the newcomer at
     eviction time (the Figure 2 comparison)."""
     array = DiskArray(disk_count=3, disk_capacity_mb=70.0, cluster_mb=20.0)
-    dma = DiskManipulationAlgorithm(array)
+    dma = WholeTitleDma(array)
     for title_id in stream:
         points_before = {tid: dma.points_of(tid) for tid in CATALOG}
         result = dma.on_request(video(title_id))
@@ -62,7 +62,7 @@ def test_eviction_only_of_strictly_less_popular(stream):
 @settings(max_examples=80, deadline=None)
 def test_points_monotone_nondecreasing(stream, greedy):
     array = DiskArray(disk_count=3, disk_capacity_mb=70.0, cluster_mb=20.0)
-    dma = DiskManipulationAlgorithm(array, evict_until_fits=greedy)
+    dma = WholeTitleDma(array, evict_until_fits=greedy)
     previous = {tid: 0 for tid in CATALOG}
     for title_id in stream:
         dma.on_request(video(title_id))
@@ -75,11 +75,11 @@ def test_points_monotone_nondecreasing(stream, greedy):
 @settings(max_examples=80, deadline=None)
 def test_hits_never_mutate_cache_contents(stream, greedy):
     array = DiskArray(disk_count=3, disk_capacity_mb=70.0, cluster_mb=20.0)
-    dma = DiskManipulationAlgorithm(array, evict_until_fits=greedy)
+    dma = WholeTitleDma(array, evict_until_fits=greedy)
     for title_id in stream:
         before = array.stored_title_ids()
         result = dma.on_request(video(title_id))
-        if result.action is DmaAction.HIT:
+        if result.action is PlacementAction.HIT:
             assert array.stored_title_ids() == before
 
 
@@ -89,7 +89,7 @@ def test_byte_accounting_matches_stored_set(stream, greedy):
     """Bytes on disk always equal the sum of the resident videos' sizes —
     no partial residue survives any eviction path."""
     array = DiskArray(disk_count=3, disk_capacity_mb=70.0, cluster_mb=20.0)
-    dma = DiskManipulationAlgorithm(array, evict_until_fits=greedy)
+    dma = WholeTitleDma(array, evict_until_fits=greedy)
     for title_id in stream:
         dma.on_request(video(title_id))
         total = sum(SIZES[tid] for tid in array.stored_title_ids())

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.dma import DmaAction
+from repro.placement import PlacementAction
 from repro.database.store import ServiceDatabase
 from repro.errors import AdmissionError, StorageError
 from repro.server.video_server import VideoServer
@@ -91,7 +91,7 @@ class TestDeferredAdvertisement:
     def test_dma_store_is_pending_until_commit(self):
         server = make_server()
         result = server.on_download_begins(video())
-        assert result.action is DmaAction.STORED
+        assert result.action is PlacementAction.STORED
         assert server.array.has_video("v")  # bytes present
         assert not server.has_title("v")  # but not servable
         assert server._database.servers_with_title("v") == []
@@ -149,5 +149,5 @@ class TestDmaHitPath:
         server = make_server()
         server.seed_title(video())
         result = server.on_download_begins(video())
-        assert result.action is DmaAction.HIT
+        assert result.action is PlacementAction.HIT
         assert server.dma.points_of("v") == 1

@@ -160,7 +160,10 @@ class TestServiceIntegration:
         sim.run(until=sim.now + 3600.0)
         categories = tracer.categories()
         assert "request.submitted" in categories
-        assert "dma.pass" in categories
+        assert "placement.pass" in categories
+        # The legacy dma.pass alias only appears under the deprecated
+        # DiskManipulationAlgorithm shim; the default policy stays clean.
+        assert "dma.pass" not in categories
         assert "vra.decision" in categories
         assert "session.finished" in categories
         finished = tracer.events("session.finished")

@@ -100,6 +100,28 @@ class TestSimulate:
         with pytest.raises(SystemExit):
             main(["simulate", "--cache", "magic"])
 
+    def test_placement_option_accepted(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--catalog-size", "4",
+                "--requests-per-node", "3",
+                "--placement", "prefix",
+                "--prefix-minutes", "12",
+                "--hot-points", "1",
+            ]
+        )
+        assert code == 0
+        assert "sessions" in capsys.readouterr().out
+
+    def test_bad_placement_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--placement", "mru"])
+
+    def test_placement_conflicts_with_baseline_cache(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--placement", "prefix", "--cache", "lru"])
+
     def test_report_flag_prints_analysis(self, capsys):
         code = main(
             [
@@ -152,6 +174,41 @@ class TestExportGrnet:
     def test_bad_time_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["export-grnet", str(tmp_path / "x.json"), "--time", "noon"])
+
+
+class TestPlacement:
+    def test_comparison_table_covers_all_policies(self, capsys):
+        code = main(
+            [
+                "placement",
+                "--requests-per-node", "3",
+                "--catalog-size", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Placement-policy comparison" in out
+        for kind in ("dma", "prefix", "partial"):
+            assert kind in out
+        assert "replay determinism" not in out  # gates only with --check
+
+    def test_check_runs_replay_gates(self, capsys):
+        code = main(
+            [
+                "placement",
+                "--requests-per-node", "2",
+                "--catalog-size", "4",
+                "--check",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replay determinism (dma rerun): PASS" in out
+        assert "dma-policy equivalence (legacy shim): PASS" in out
+
+    def test_bad_knob_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["placement", "--prefix-minutes", "nope"])
 
 
 class TestChaos:

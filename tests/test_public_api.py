@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.metrics",
     "repro.network",
     "repro.network.routing",
+    "repro.placement",
     "repro.sim",
     "repro.snmp",
     "repro.storage",
