@@ -318,10 +318,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="session retry budget per cluster boundary")
     chaos.add_argument("--retry-backoff", type=float, default=20.0,
                        metavar="S", help="first retry delay (s)")
+    chaos.add_argument("--failover", action="store_true",
+                       help="enable the mid-stream session-failover "
+                            "supervisor")
+    chaos.add_argument("--failover-backoff", type=float, default=15.0,
+                       metavar="S",
+                       help="wait between failover re-decide attempts (s)")
+    chaos.add_argument("--breaker-threshold", type=int, default=0,
+                       metavar="N",
+                       help="circuit-breaker trip threshold (failures per "
+                            "window); 0 disables breakers")
+    chaos.add_argument("--breaker-window", type=float, default=600.0,
+                       metavar="S", help="breaker failure-count window (s)")
+    chaos.add_argument("--breaker-cooldown", type=float, default=300.0,
+                       metavar="S",
+                       help="open-state dwell before the half-open probe (s)")
+    chaos.add_argument("--max-stats-age", type=float, default=None,
+                       metavar="S",
+                       help="staleness guard: SNMP samples older than this "
+                            "inflate their link's weight and mark decisions "
+                            "degraded")
     chaos.add_argument("--min-availability", type=float, default=None,
                        metavar="FRACTION",
                        help="exit 1 if completed/finished sessions falls "
                             "below this floor (CI smoke gate)")
+    chaos.add_argument("--min-recovered", type=int, default=None,
+                       metavar="N",
+                       help="exit 1 if fewer than N sessions recovered "
+                            "(retry recoveries + mid-stream failovers)")
+    chaos.add_argument("--max-p95-stall-s", type=float, default=None,
+                       metavar="S",
+                       help="exit 1 if the p95 total stall of completed "
+                            "sessions exceeds this bound (s)")
     chaos.add_argument("--json", action="store_true",
                        help="print the report as JSON instead of text")
     chaos.add_argument("--show-faults", action="store_true",
@@ -629,6 +657,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         config = ServiceConfig(
             retry_attempts=args.retry_attempts,
             retry_backoff_s=args.retry_backoff,
+            session_failover=args.failover,
+            failover_backoff_s=args.failover_backoff,
+            breaker_threshold=args.breaker_threshold,
+            breaker_window_s=args.breaker_window,
+            breaker_cooldown_s=args.breaker_cooldown,
+            max_stats_age_s=args.max_stats_age,
             observability=True,
             phase_profiling=args.phase_profile,
         )
@@ -645,6 +679,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         mean_fault_duration_s=args.mean_fault_duration,
         retry_attempts=args.retry_attempts,
         retry_backoff_s=args.retry_backoff,
+        session_failover=args.failover,
+        failover_backoff_s=args.failover_backoff,
+        breaker_threshold=args.breaker_threshold,
+        breaker_window_s=args.breaker_window,
+        breaker_cooldown_s=args.breaker_cooldown,
+        max_stats_age_s=args.max_stats_age,
         config=config,
         service_hook=hook,
     )
@@ -661,6 +701,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 f"{entry['at_s']:10.1f} s  {entry['action']:<7} "
                 f"{entry['kind']:<14} {entry['target']}"
             )
+    failed_gate = False
     if (
         args.min_availability is not None
         and report.availability < args.min_availability
@@ -670,8 +711,26 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"{args.min_availability:.2%}",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed_gate = True
+    recovered_total = report.recovered_sessions + report.sessions_failed_over
+    if args.min_recovered is not None and recovered_total < args.min_recovered:
+        print(
+            f"recovered sessions {recovered_total} below floor "
+            f"{args.min_recovered}",
+            file=sys.stderr,
+        )
+        failed_gate = True
+    if (
+        args.max_p95_stall_s is not None
+        and report.p95_stall_s > args.max_p95_stall_s
+    ):
+        print(
+            f"p95 stall {report.p95_stall_s:.1f} s above bound "
+            f"{args.max_p95_stall_s:.1f} s",
+            file=sys.stderr,
+        )
+        failed_gate = True
+    return 1 if failed_gate else 0
 
 
 def _cmd_export_grnet(path: str, time_label: Optional[str]) -> int:

@@ -21,7 +21,7 @@ link bandwidths and per-server title lists) maps to the constructor plus
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from time import perf_counter
 from typing import Callable, Dict, FrozenSet, Hashable, List, Optional, Tuple, Union
 
@@ -62,6 +62,9 @@ from repro.network.topology import Topology
 from repro.obs.phase import PhaseProfiler
 from repro.placement.base import PlacementConfig
 from repro.obs.registry import MetricsRegistry
+from repro.resilience.breaker import KIND_SERVER, BreakerBoard
+from repro.resilience.staleness import StalenessGuard
+from repro.resilience.supervisor import SessionSupervisor
 from repro.obs.sampler import DEFAULT_SERIES_CAPACITY, TelemetrySampler
 from repro.obs.spans import SessionSpan
 from repro.server.video_server import VideoServer
@@ -215,6 +218,50 @@ class ServiceConfig:
             by delaying rather than dropping.  ``0`` (default) keeps the
             reject-immediately behaviour.
         requeue_delay_s: Simulated wait between admission re-attempts.
+        retry_deadline_s: Overall cap on the total simulated time one
+            cluster boundary may spend in retry backoff, across all
+            attempts.  A retry whose full backoff would cross the
+            deadline waits only the remaining slack; once the budget is
+            exhausted the next failure propagates.  ``None`` (default)
+            keeps the per-attempt-only policy, bit-for-bit.
+        session_failover: Mid-stream session failover
+            (:class:`~repro.resilience.supervisor.SessionSupervisor`).
+            Active transfer segments are indexed by their source server
+            and path links; a fault on either (server crash, disk
+            failure taking the title, path link offline) *preempts* the
+            session immediately — it re-runs the VRA and migrates the
+            remainder of the cluster to a surviving holder, stalling
+            through ``failover_backoff_s`` waits while holders exist but
+            none is currently usable.  A session fails only when no
+            online full holder of its title remains.  Default off —
+            faults mid-transfer then play out exactly as before (the
+            stream limps to the boundary or dies there).
+        failover_backoff_s: Wait between failover re-decide attempts.
+        breaker_threshold: Per-server/per-link circuit breakers
+            (:class:`~repro.resilience.breaker.BreakerBoard`) trip after
+            this many failures inside ``breaker_window_s``.  An open
+            server breaker filters that server out of the VRA's holder
+            set (never to emptiness — with every holder tripped the
+            unfiltered set is used, so breakers cannot cause a failure);
+            an open link breaker conservatively inflates that link's
+            weight to look saturated (reported-stats path only).  After
+            ``breaker_cooldown_s`` the breaker half-opens and the next
+            success closes it.  Transitions ride the existing
+            version-counter/journal machinery — no new invalidation
+            paths.  ``0`` (default) disables breakers entirely.
+        breaker_window_s: Sliding failure-count window.
+        breaker_cooldown_s: Open-state dwell before the half-open probe.
+        max_stats_age_s: Staleness guard over the SNMP-fed link stats
+            (:class:`~repro.resilience.staleness.StalenessGuard`).  A
+            link whose latest sample is older than this — e.g. during an
+            ``SnmpBlackout`` — has its headroom shrunk by
+            ``stale_inflation_factor`` in the LVN weights, and every
+            decision taken while any link is stale is marked
+            ``degraded``.  Requires ``use_reported_stats``.  ``None``
+            (default) trusts samples of any age, as the paper does.
+        stale_inflation_factor: Headroom divisor for stale links (> 1).
+        staleness_check_period_s: Spacing of the guard's periodic
+            refresh; ``None`` (default) follows ``snmp_period_s``.
         observability: Enable the unified telemetry layer: a live
             metrics registry (per-link utilisation, cache occupancy,
             stream load, VRA decision counters/latency, sim-engine
@@ -264,6 +311,15 @@ class ServiceConfig:
     retry_max_backoff_s: float = 300.0
     requeue_attempts: int = 0
     requeue_delay_s: float = 60.0
+    retry_deadline_s: Optional[float] = None
+    session_failover: bool = False
+    failover_backoff_s: float = 15.0
+    breaker_threshold: int = 0
+    breaker_window_s: float = 600.0
+    breaker_cooldown_s: float = 300.0
+    max_stats_age_s: Optional[float] = None
+    stale_inflation_factor: float = 4.0
+    staleness_check_period_s: Optional[float] = None
     observability: bool = False
     telemetry_period_s: float = 60.0
     telemetry_capacity: int = DEFAULT_SERIES_CAPACITY
@@ -292,6 +348,7 @@ class ServiceConfig:
             backoff_s=self.retry_backoff_s,
             multiplier=self.retry_backoff_multiplier,
             max_backoff_s=self.retry_max_backoff_s,
+            deadline_s=self.retry_deadline_s,
         )
 
 
@@ -416,6 +473,69 @@ class VoDService:
         )
         self.statistics.attach_metrics(self.obs)
         self.statistics.phase_timer = self.profiler.timer("snmp_collect")
+
+        # Resilience layer (every knob default-off: the attributes below
+        # stay None and the legacy execution path is byte-identical).
+        if (
+            self.config.max_stats_age_s is not None
+            and not self.config.use_reported_stats
+        ):
+            raise ServiceError(
+                "max_stats_age_s guards the reported (SNMP-fed) link stats "
+                "and requires use_reported_stats=True"
+            )
+        #: Staleness guard over the SNMP-fed link stats; None when off.
+        self.staleness_guard: Optional[StalenessGuard] = None
+        if self.config.max_stats_age_s is not None:
+            self.staleness_guard = StalenessGuard(
+                sim,
+                self.database,
+                topology,
+                max_age_s=self.config.max_stats_age_s,
+                inflation_factor=self.config.stale_inflation_factor,
+                check_period_s=(
+                    self.config.staleness_check_period_s
+                    if self.config.staleness_check_period_s is not None
+                    else self.config.snmp_period_s
+                ),
+                on_change=self._on_staleness_change,
+            )
+            # Fresh samples clear staleness in the collection round that
+            # wrote them (blackout-skipped rounds do not fire this).
+            self.statistics.on_round = self.staleness_guard.refresh
+            if self._obs_enabled:
+                self.obs.gauge(
+                    "snmp.stale_links", subsystem="snmp",
+                    description="links whose latest SNMP sample is age-expired",
+                    callback=lambda: float(self.staleness_guard.stale_count),
+                )
+        #: Per-server/per-link circuit breakers; None when threshold is 0.
+        self.breakers: Optional[BreakerBoard] = None
+        if self.config.breaker_threshold > 0:
+            self.breakers = BreakerBoard(
+                sim,
+                threshold=self.config.breaker_threshold,
+                window_s=self.config.breaker_window_s,
+                cooldown_s=self.config.breaker_cooldown_s,
+                on_transition=self._on_breaker_transition,
+                registry=self.obs,
+            )
+        #: Mid-stream failover supervisor; None when off.
+        self.supervisor: Optional[SessionSupervisor] = None
+        if self.config.session_failover:
+            self.supervisor = SessionSupervisor(
+                sim,
+                self.servers,
+                self.database,
+                topology,
+                backoff_s=self.config.failover_backoff_s,
+                registry=self.obs,
+            )
+        if self.supervisor is not None or self.breakers is not None:
+            for server in self.servers.values():
+                server.on_state_change = self._on_server_state
+            topology.on_state_change = self._on_link_state
+
         # Live server load feeds the weights without a version counter, so
         # epoch caching cannot see those changes; fall back to recompute.
         cacheable = not self.config.use_server_load_in_vra
@@ -432,9 +552,16 @@ class VoDService:
             kinds=(STATE_CHANGE,) if self.config.use_reported_stats else None,
         )
         self._stats_cursor = JournalCursor(self.database.stats_journal)
+        # On the reported-stats path the staleness guard and open link
+        # breakers interpose on the used-bandwidth reads; without either
+        # the plain reader keeps the default path byte-identical.
+        used_of: Optional[Callable[[Link], float]] = None
+        if self.config.use_reported_stats:
+            guarded = self.staleness_guard is not None or self.breakers is not None
+            used_of = self._guarded_used if guarded else self._reported_used
         self.vra = VirtualRoutingAlgorithm(
             topology,
-            used_of=self._reported_used if self.config.use_reported_stats else None,
+            used_of=used_of,
             normalization_constant=self.config.normalization_constant,
             node_load=self._server_load if self.config.use_server_load_in_vra else None,
             trace=self.config.vra_trace,
@@ -734,6 +861,8 @@ class VoDService:
         if not self._started:
             self.statistics.start()
             self.telemetry.start()
+            if self.staleness_guard is not None:
+                self.staleness_guard.start()
             self._started = True
 
     # ------------------------------------------------------------------ #
@@ -786,6 +915,8 @@ class VoDService:
         )
         self.servers[node.uid] = server
         server.on_availability_change = self._bump_availability
+        if self.supervisor is not None or self.breakers is not None:
+            server.on_state_change = self._on_server_state
         self._bump_availability()
         server.attach_metrics(self.obs)
         self._register_server_gauges(server)
@@ -884,6 +1015,11 @@ class VoDService:
                 # inside the VRA), each holder's poll answer is a function of
                 # its (online, title-resident, headroom-bucket) signature.
                 holders = self.database.servers_with_title(title_id, min_fraction=1.0)
+                if self.breakers is not None:
+                    # Filter *before* keying, so the memo key describes
+                    # the holder set the VRA actually saw.  Transitions
+                    # bump the availability version, staling the token.
+                    holders = self.breakers.filter_servers(holders)
                 cache_key = (
                     home_uid,
                     title_id,
@@ -895,6 +1031,8 @@ class VoDService:
                 # cannot source a whole remote stream, so the VRA prefers
                 # full holders by construction.
                 holders = self.database.servers_with_title(title_id, min_fraction=1.0)
+                if self.breakers is not None:
+                    holders = self.breakers.filter_servers(holders)
             started = perf_counter() if self._obs_enabled else 0.0
             decision = self.vra.decide(
                 home_uid,
@@ -905,6 +1043,16 @@ class VoDService:
             )
             if self._obs_enabled:
                 self._m_decision_latency.observe((perf_counter() - started) * 1e3)
+            if (
+                self.staleness_guard is not None
+                and self.staleness_guard.degraded
+                and not decision.degraded
+            ):
+                # Stamped outside the VRA so its memo keeps the unmarked
+                # decision; the replay layer below stores the marked one
+                # (safe: every stale-set flip touches the journaled links,
+                # which stales the freshness token).
+                decision = replace(decision, degraded=True)
             if token is not None:
                 # Arm the replay layer.  The candidate count comes from the
                 # VRA's memo entry (just stored or refreshed) so a replayed
@@ -945,6 +1093,62 @@ class VoDService:
     def _bump_availability(self) -> None:
         """A server's poll-answer inputs moved; stale the replay tokens."""
         self._availability_version += 1
+
+    # ------------------------------------------------------------------ #
+    # resilience-layer fan-out (wired only when a knob is on)
+    # ------------------------------------------------------------------ #
+    def _on_server_state(self, server: VideoServer) -> None:
+        """A server flipped online: preempt its sessions, feed its breaker."""
+        if self.supervisor is not None:
+            self.supervisor.on_server_state(server)
+        if self.breakers is not None and not server.online:
+            self.breakers.server_failure(server.node_uid)
+
+    def _on_link_state(self, link: Link) -> None:
+        """A link flipped online: preempt path users, feed its breaker."""
+        if self.supervisor is not None:
+            self.supervisor.on_link_state(link)
+        if self.breakers is not None and not link.online:
+            self.breakers.link_failure(link.name)
+
+    def _on_breaker_transition(
+        self, kind: str, target: str, old: str, new: str
+    ) -> None:
+        """Ride breaker transitions on the existing invalidation machinery.
+
+        A server breaker changes holder filtering, which is exactly the
+        class of change the availability version covers; any memoized
+        decision still naming the server is evicted defensively.  A link
+        breaker changes that link's effective weight, which is exactly
+        what a reported-stats write would — so it is journaled as one.
+        """
+        if kind == KIND_SERVER:
+            self._bump_availability()
+            if self.vra.decision_cache is not None:
+                self.vra.decision_cache.evict_server(target)
+        elif self.config.use_reported_stats:
+            self.database.touch_links([target])
+        if self.tracer.enabled:
+            self.tracer.record(
+                self.sim.now,
+                "breaker.transition",
+                f"{kind} {target}: {old} -> {new}",
+                kind=kind,
+                target=target,
+                old=old,
+                new=new,
+            )
+
+    def _on_staleness_change(self, changed: List[str]) -> None:
+        """Stale-set flips invalidate exactly the affected links' weights."""
+        self.database.touch_links(changed)
+        if self.tracer.enabled:
+            self.tracer.record(
+                self.sim.now,
+                "snmp.staleness",
+                f"{len(changed)} link(s) changed staleness",
+                links=list(changed),
+            )
 
     def _holder_signature(self, uid: str, title_id: str) -> Tuple[str, bool, int]:
         """One holder's contribution to the decision-memo key.
@@ -1211,6 +1415,8 @@ class VoDService:
         process = Process(
             self.sim, session.run(), name=f"session:{client_id}:{title_id}"
         )
+        if self.supervisor is not None:
+            self.supervisor.adopt(session, process)
         return request, session, process
 
     def _build_session(
@@ -1251,10 +1457,18 @@ class VoDService:
             local_read_mbps=self.config.local_read_mbps,
             rate_update_period_s=self.config.rate_update_period_s,
             retry=self._retry_policy,
+            failover=self.supervisor,
+            on_failover=(
+                self._failover_hook(span) if self.supervisor is not None else None
+            ),
             on_finish=lambda record: self._on_session_finish(
                 record, home_server, dma_stored, span
             ),
-            on_cluster=self._cluster_hook(span) if self._obs_enabled else None,
+            on_cluster=(
+                self._cluster_hook(span)
+                if self._obs_enabled or self.breakers is not None
+                else None
+            ),
             on_retry=self._note_retry,
             on_recover=self._note_recovery,
         )
@@ -1289,6 +1503,15 @@ class VoDService:
             return decide()
 
         return decide_cluster
+
+    def _failover_hook(self, span: Optional[SessionSpan]) -> Callable[[float], None]:
+        """Session callback: one mid-stream failover completed."""
+
+        def hook(stall_s: float) -> None:
+            if span is not None:
+                span.add(self.sim.now, "failover", stall_s=stall_s)
+
+        return hook
 
     def _note_retry(self, wait_s: float) -> None:
         """Session callback: one cluster-boundary retry was taken."""
@@ -1329,6 +1552,18 @@ class VoDService:
             self._m_clusters.inc()
             if record.switched:
                 self._m_switches.inc()
+            if self.breakers is not None:
+                # A delivered cluster is the success signal that closes
+                # half-open breakers along the serving path.
+                link_names = (
+                    [
+                        link.name
+                        for link in self.topology.path_links(record.path_nodes)
+                    ]
+                    if len(record.path_nodes) > 1
+                    else []
+                )
+                self.breakers.path_success(record.server_uid, link_names)
             if span is None:
                 return
             if record.switched:
@@ -1420,6 +1655,8 @@ class VoDService:
             self._requeue_body(request, video, home_server, dma_stored, span, session),
             name=f"requeued:{request.request_id}",
         )
+        if self.supervisor is not None:
+            self.supervisor.adopt(session, process)
         return request, session, process
 
     def _requeue_body(
@@ -1494,6 +1731,8 @@ class VoDService:
             return result
 
         process = Process(self.sim, delayed(), name=f"queued:{request.request_id}")
+        if self.supervisor is not None:
+            self.supervisor.adopt(session, process)
         return request, session, process
 
     def _shed_request(
@@ -1641,6 +1880,21 @@ class VoDService:
     def _reported_used(self, link: Link) -> float:
         """Used bandwidth as last written by the SNMP statistics modules."""
         return self.database.link_entry(link.name).used_mbps
+
+    def _guarded_used(self, link: Link) -> float:
+        """Reported used bandwidth through the resilience interposers.
+
+        An open link breaker makes the link look saturated (still
+        routable — Dijkstra only deprioritises it); a stale sample keeps
+        only ``1/factor`` of its reported headroom.  Links that are
+        neither return the plain reported figure, bit-for-bit.
+        """
+        if self.breakers is not None and self.breakers.link_open(link.name):
+            return link.capacity_mbps
+        used = self.database.link_entry(link.name).used_mbps
+        if self.staleness_guard is not None:
+            return self.staleness_guard.adjusted_used(link, used)
+        return used
 
     def _server_load(self, node_uid: str) -> float:
         """Stream-slot occupancy of a node's server, in [0, 1].

@@ -16,7 +16,10 @@ stalls) so the QoS effect of switching is measurable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Generator, List, Optional, Tuple
+from typing import Callable, Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # runtime coupling stays duck-typed (tests pass fakes)
+    from repro.resilience.supervisor import SessionSupervisor as FailoverControl
 
 from repro.client.requests import VideoRequest
 from repro.core.vra import VraDecision
@@ -62,12 +65,19 @@ class RetryPolicy:
         backoff_s: First retry delay in simulated seconds.
         multiplier: Backoff growth factor between consecutive retries.
         max_backoff_s: Ceiling on any single retry delay.
+        deadline_s: Cap on the *total* backoff a session may accumulate
+            across all its cluster boundaries, so exponential backoff
+            cannot exceed the session's overall slack.  The final wait
+            is clipped to the remaining budget; a retry needed with no
+            budget left re-raises instead of sleeping.  ``None`` (the
+            default) keeps the attempt-count-only behaviour bit-for-bit.
     """
 
     attempts: int = 0
     backoff_s: float = 30.0
     multiplier: float = 2.0
     max_backoff_s: float = 300.0
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.attempts < 0:
@@ -82,6 +92,10 @@ class RetryPolicy:
             raise ReproError(
                 f"max backoff {self.max_backoff_s!r} below initial "
                 f"backoff {self.backoff_s!r}"
+            )
+        if self.deadline_s is not None and not (self.deadline_s > 0.0):
+            raise ReproError(
+                f"retry deadline must be positive, got {self.deadline_s!r}"
             )
 
     @property
@@ -141,6 +155,10 @@ class SessionRecord:
         admission_wait_s: Load-leveling delay assigned by the admission
             queue before the session started (0.0 when the queue is off
             or the request was admitted immediately).
+        failover_count: Mid-stream migrations forced by a fault on the
+            serving server or delivery path (session supervisor).
+        failover_stall_s: Total simulated time spent between a fault
+            preempting a transfer segment and the replacement decision.
     """
 
     request: VideoRequest
@@ -154,6 +172,8 @@ class SessionRecord:
     retry_wait_s: float = 0.0
     recovered: bool = False
     admission_wait_s: float = 0.0
+    failover_count: int = 0
+    failover_stall_s: float = 0.0
 
     @property
     def servers_used(self) -> List[str]:
@@ -200,6 +220,15 @@ class StreamingSession:
             (the service's resilience counters).
         on_recover: Optional callback ``(outage_s)`` fired when a retry
             succeeds, with the simulated time the boundary was blocked.
+        failover: Optional mid-stream failover control (the service's
+            :class:`~repro.resilience.supervisor.SessionSupervisor`).
+            When set, cluster delivery runs the preemptible segment path:
+            the supervisor indexes each segment via ``track``/``untrack``
+            and may :meth:`preempt` it, after which the session re-runs
+            its decision function and migrates the rest of the cluster.
+            None (the default) keeps the legacy transfer loop untouched.
+        on_failover: Optional callback ``(stall_s)`` fired per completed
+            mid-stream migration (the service's span/telemetry hook).
     """
 
     def __init__(
@@ -219,6 +248,8 @@ class StreamingSession:
         on_cluster: Optional[Callable[[ClusterRecord], None]] = None,
         on_retry: Optional[Callable[[float], None]] = None,
         on_recover: Optional[Callable[[float], None]] = None,
+        failover: Optional["FailoverControl"] = None,
+        on_failover: Optional[Callable[[float], None]] = None,
     ):
         if not (rate_update_period_s > 0.0):
             raise ReproError(
@@ -238,7 +269,26 @@ class StreamingSession:
         self._on_cluster = on_cluster
         self._on_retry = on_retry
         self._on_recover = on_recover
+        self._failover = failover
+        self._on_failover = on_failover
+        self._preempt_reason: Optional[str] = None
         self.record = SessionRecord(request=request)
+
+    @property
+    def title_id(self) -> str:
+        """The title this session delivers (supervisor index key)."""
+        return self._video.title_id
+
+    def preempt(self, reason: str) -> None:
+        """Flag the in-flight transfer segment for mid-stream failover.
+
+        Called by the session supervisor when a fault hits the serving
+        server or a path link; the segment loop checks the flag on its
+        next wake-up (usually the supervisor's immediate ``poke``),
+        abandons the segment, and re-decides.  The first reason wins.
+        """
+        if self._preempt_reason is None:
+            self._preempt_reason = reason
 
     # ------------------------------------------------------------------ #
     def run(self) -> Generator[Delay, None, SessionRecord]:
@@ -249,7 +299,13 @@ class StreamingSession:
         try:
             for index, size_mb in enumerate(self._cluster_sizes):
                 get_decision = self._decider_for(index)
-                if self._retry.enabled:
+                if self._failover is not None:
+                    # Boundary outages also ride the failover control:
+                    # the retry budget runs first (byte-identical while
+                    # it lasts), then the supervisor stalls the session
+                    # through the outage instead of letting it die.
+                    decision = yield from self._boundary_decide(get_decision)
+                elif self._retry.enabled:
                     decision = yield from self._decide_with_retry(get_decision)
                 else:
                     decision = get_decision()
@@ -258,7 +314,12 @@ class StreamingSession:
                 if switched:
                     self.record.switch_count += 1
                 previous_server = server_uid
-                yield from self._transfer_cluster(index, size_mb, decision, switched)
+                if self._failover is None:
+                    yield from self._transfer_cluster(index, size_mb, decision, switched)
+                else:
+                    previous_server = yield from self._deliver_cluster(
+                        index, size_mb, decision, switched, get_decision
+                    )
         except ReproError as exc:
             request.mark_failed(str(exc))
             self._finish()
@@ -298,14 +359,22 @@ class StreamingSession:
             except RoutingError as exc:
                 if tries >= policy.attempts:
                     raise
+                wait = backoff
+                if policy.deadline_s is not None:
+                    # Total-backoff budget across the whole session: clip
+                    # this wait to the remaining slack, fail when spent.
+                    slack = policy.deadline_s - self.record.retry_wait_s
+                    if slack <= 1e-12:
+                        raise
+                    wait = min(backoff, slack)
                 if blocked_since is None:
                     blocked_since = self._sim.now
                 tries += 1
                 self.record.retry_count += 1
-                self.record.retry_wait_s += backoff
+                self.record.retry_wait_s += wait
                 if self._on_retry is not None:
-                    self._on_retry(backoff)
-                yield Delay(backoff)
+                    self._on_retry(wait)
+                yield Delay(wait)
                 backoff = min(backoff * policy.multiplier, policy.max_backoff_s)
                 continue
             if blocked_since is not None:
@@ -388,6 +457,172 @@ class StreamingSession:
             return MIN_TRANSFER_MBPS, None
         return rate, flow
 
+    # ------------------------------------------------------------------ #
+    # failover delivery path (active only when a supervisor is installed)
+    # ------------------------------------------------------------------ #
+    def _deliver_cluster(
+        self,
+        index: int,
+        size_mb: float,
+        decision: VraDecision,
+        switched: bool,
+        get_decision: DecideFn,
+    ) -> Generator[Delay, None, str]:
+        """Deliver one cluster as a chain of preemptible segments.
+
+        The fault-free case is exactly one segment (same events as the
+        legacy loop, plus track/untrack bookkeeping).  When a segment is
+        preempted mid-flight, the remainder of the cluster re-enters the
+        VRA and continues from a surviving holder; each segment leaves
+        its own partial :class:`ClusterRecord` (sizes sum to the cluster
+        size, so the playback-continuity math is unchanged).
+
+        Returns:
+            The uid of the server that delivered the final bytes, which
+            becomes ``previous_server`` for boundary-switch detection.
+        """
+        remaining = size_mb
+        current = decision
+        segment_switched = switched
+        while True:
+            remaining = yield from self._transfer_segment(
+                index, remaining, current, segment_switched
+            )
+            if remaining <= 1e-9:
+                return current.chosen_uid
+            reason = self._preempt_reason or "fault"
+            self._preempt_reason = None
+            old_uid = current.chosen_uid
+            current = yield from self._failover_decide(get_decision, reason)
+            segment_switched = current.chosen_uid != old_uid
+            if segment_switched:
+                self.record.switch_count += 1
+
+    def _transfer_segment(
+        self, index: int, size_mb: float, decision: VraDecision, switched: bool
+    ) -> Generator[Delay, None, float]:
+        """One preemptible slice of a cluster transfer.
+
+        Mirrors :meth:`_transfer_cluster`, with two differences: the
+        supervisor indexes the segment while it is in flight, and
+        progress accounting uses the *elapsed* time of each step — a
+        preempting ``poke`` cuts the delay short, so only the bytes
+        actually moved are credited.
+
+        Returns:
+            The undelivered remainder in MB (0 when the segment — and
+            with it the cluster — completed).
+        """
+        server = self._servers.get(decision.chosen_uid)
+        lease = server.begin_serving(self._video.title_id) if server is not None else None
+        path_nodes = decision.path.nodes
+        local = decision.served_locally or decision.path.hop_count == 0
+        node_path = list(path_nodes)
+        start = self._sim.now
+        remaining = size_mb
+        min_rate = float("inf")
+        flow = None
+        self._failover.track(self, decision)
+        try:
+            while remaining > 1e-9:
+                rate, flow = self._acquire_rate(local, node_path)
+                min_rate = min(min_rate, rate)
+                time_needed = remaining * 8.0 / rate
+                step = min(time_needed, self._rate_quantum_s)
+                step_started = self._sim.now
+                yield Delay(step)
+                elapsed = self._sim.now - step_started
+                remaining -= rate * min(elapsed, step) / 8.0
+                if flow is not None:
+                    self._flows.release(flow)
+                    flow = None
+                if self._preempt_reason is not None:
+                    break
+        finally:
+            self._failover.untrack(self)
+            if flow is not None:
+                self._flows.release(flow)
+            if server is not None and lease is not None:
+                server.end_serving(lease)
+        end = self._sim.now
+        delivered = size_mb - remaining
+        if delivered > 1e-9:
+            qos_violated = min_rate < self._video.bitrate_mbps - 1e-9
+            if qos_violated:
+                self.record.qos_violation_count += 1
+            average_rate = delivered * 8.0 / (end - start) if end > start else min_rate
+            cluster_record = ClusterRecord(
+                index=index,
+                server_uid=decision.chosen_uid,
+                path_nodes=path_nodes,
+                rate_mbps=average_rate,
+                start=start,
+                end=end,
+                size_mb=delivered,
+                switched=switched,
+                qos_violated=qos_violated,
+            )
+            self.record.clusters.append(cluster_record)
+            if self._on_cluster is not None:
+                self._on_cluster(cluster_record)
+        return max(remaining, 0.0)
+
+    def _boundary_decide(
+        self, get_decision: DecideFn
+    ) -> Generator[Delay, None, VraDecision]:
+        """One cluster-boundary decision under the failover safety net.
+
+        The configured retry policy runs first, exactly as it would
+        without a supervisor; only when it gives up (fail-fast with no
+        budget, or the budget spent) does the failover control take
+        over and stall the session through the outage instead of
+        failing it.
+        """
+        try:
+            if self._retry.enabled:
+                decision = yield from self._decide_with_retry(get_decision)
+            else:
+                decision = get_decision()
+        except RoutingError:
+            decision = yield from self._failover_decide(get_decision, "boundary")
+        return decision
+
+    def _failover_decide(
+        self, get_decision: DecideFn, reason: str
+    ) -> Generator[Delay, None, VraDecision]:
+        """Find a replacement source after a fault or routing outage.
+
+        Routing failures while a full copy of the title is still
+        registered somewhere are transient — the holder is crashed (it
+        will recover), its slots are full, or the path is congested —
+        so the session stalls ``backoff_s`` and retries.  Only when no
+        full holder *remains* anywhere (the last copy was lost) does
+        the supervisor log the verdict and fail the session; by then no
+        online full holder can exist either, which is the invariant the
+        property suite pins.
+        """
+        control = self._failover
+        stall_started = self._sim.now
+        while True:
+            try:
+                decision = get_decision()
+            except RoutingError as exc:
+                if not control.holder_exists(self._video.title_id):
+                    control.note_failed(self._video.title_id, reason)
+                    raise ReproError(
+                        f"failover ({reason}): no full holder of title "
+                        f"{self._video.title_id!r} remains: {exc}"
+                    ) from exc
+                yield Delay(control.backoff_s)
+                continue
+            stall = self._sim.now - stall_started
+            self.record.failover_count += 1
+            self.record.failover_stall_s += stall
+            control.note_failover(stall)
+            if self._on_failover is not None:
+                self._on_failover(stall)
+            return decision
+
     def _compute_playback_metrics(self) -> None:
         """Startup delay and stall time from the cluster timeline.
 
@@ -412,5 +647,7 @@ class StreamingSession:
         self.record.stall_s = stall
 
     def _finish(self) -> None:
+        if self._failover is not None:
+            self._failover.discard(self)
         if self._on_finish is not None:
             self._on_finish(self.record)

@@ -77,6 +77,10 @@ class VraDecision:
         weights: The LVN table used (empty for local serves).
         dijkstra_result: Full shortest-path tree (None for local serves).
         polled_out: Candidates that failed the availability poll.
+        degraded: True when the decision was taken while the staleness
+            guard had age-expired link stats inflated — the routing ran
+            on conservative, not measured, weights.  Stamped by the
+            service layer (``dataclasses.replace``), never by the VRA.
     """
 
     title_id: str
@@ -88,6 +92,7 @@ class VraDecision:
     weights: Dict[str, float] = field(default_factory=dict)
     dijkstra_result: Optional[DijkstraResult] = None
     polled_out: Sequence[str] = ()
+    degraded: bool = False
 
     @property
     def cost(self) -> float:

@@ -10,7 +10,7 @@ have the requested video title" step reads.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.changes import ChangeJournal
 from repro.database.access import AccessLevel, DatabaseHandle
@@ -265,6 +265,26 @@ class ServiceDatabase:
         self._link_stats_version += 1
         if changed:
             self.stats_journal.record(link_name)
+
+    def touch_links(self, link_names: Iterable[str]) -> None:
+        """Mark links whose *routing-visible* weight changed without a
+        new SNMP sample (staleness-guard inflation toggles, link-breaker
+        trips and resets).
+
+        The entries themselves are untouched — the adjustment lives in
+        the service's weight provider — but the epoch counter bumps and
+        the links land in :attr:`stats_journal`, so the delta-scoped
+        routing cache repairs exactly these weights on the next decision.
+        Cache invalidation thereby rides the existing machinery with no
+        new paths.
+        """
+        touched = False
+        for link_name in link_names:
+            self.link_entry(link_name)  # validate
+            self.stats_journal.record(link_name)
+            touched = True
+        if touched:
+            self._link_stats_version += 1
 
     def update_server_config(self, server_uid: str, **attributes: object) -> None:
         """Update configuration attributes on a server entry.

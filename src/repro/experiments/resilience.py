@@ -22,6 +22,7 @@ from repro.experiments.harness import ServiceExperiment, build_service
 from repro.faults.injector import FaultInjector
 from repro.faults.schedule import FaultSchedule
 from repro.metrics.collectors import SessionMetrics, summarize_sessions
+from repro.metrics.stats import percentile
 from repro.network.grnet import build_grnet_topology
 from repro.network.topology import Topology
 from repro.sim.trace import Tracer
@@ -51,6 +52,21 @@ class ResilienceReport:
         mean_fault_mttr_s: Mean injection-to-recovery time (s).
         snmp_blackout_skips: Collection rounds skipped by blackouts.
         metrics: The standard session aggregate for deeper comparison.
+        failover_count: Mid-stream migrations taken by the supervisor
+            (0 unless ``session_failover`` is on).
+        failover_stall_s_total: Total stall seconds across failovers.
+        failover_stall_s_p95: 95th-percentile stall per failover (s).
+        sessions_failed_over: Distinct sessions that migrated at least
+            once mid-stream.
+        failover_failed_sessions: Sessions the supervisor let fail
+            because no online full holder remained.
+        preemptions: Transfer segments interrupted by a path fault.
+        p95_stall_s: 95th-percentile total playback stall over completed
+            sessions (s) — the chaos CLI's ``--max-p95-stall-s`` gate.
+        breaker_trips: Open transitions by breaker kind (server/link).
+        breaker_resets: Closed transitions by breaker kind.
+        stale_transitions: Staleness-guard refreshes that changed the
+            stale set.
     """
 
     name: str
@@ -69,6 +85,16 @@ class ResilienceReport:
     mean_fault_mttr_s: float = 0.0
     snmp_blackout_skips: int = 0
     metrics: Optional[SessionMetrics] = None
+    failover_count: int = 0
+    failover_stall_s_total: float = 0.0
+    failover_stall_s_p95: float = 0.0
+    sessions_failed_over: int = 0
+    failover_failed_sessions: int = 0
+    preemptions: int = 0
+    p95_stall_s: float = 0.0
+    breaker_trips: Dict[str, int] = field(default_factory=dict)
+    breaker_resets: Dict[str, int] = field(default_factory=dict)
+    stale_transitions: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict form (JSON-serialisable) for the chaos CLI."""
@@ -99,6 +125,12 @@ def run_resilience_experiment(
     degrade_fraction: float = 0.5,
     retry_attempts: int = 5,
     retry_backoff_s: float = 20.0,
+    session_failover: bool = False,
+    failover_backoff_s: float = 15.0,
+    breaker_threshold: int = 0,
+    breaker_window_s: float = 600.0,
+    breaker_cooldown_s: float = 300.0,
+    max_stats_age_s: Optional[float] = None,
     config: Optional[ServiceConfig] = None,
     topology_factory: Callable[[], Topology] = build_grnet_topology,
     tracer: Optional[Tracer] = None,
@@ -127,8 +159,20 @@ def run_resilience_experiment(
         degrade_fraction: Capacity fraction per bandwidth shortage.
         retry_attempts: Session retry budget (ignored with ``config``).
         retry_backoff_s: First retry delay (ignored with ``config``).
+        session_failover: Enable the mid-stream failover supervisor
+            (ignored with ``config``).
+        failover_backoff_s: Supervisor re-decide backoff (ignored with
+            ``config``).
+        breaker_threshold: Circuit-breaker trip threshold, 0 = off
+            (ignored with ``config``).
+        breaker_window_s: Breaker failure-count window (ignored with
+            ``config``).
+        breaker_cooldown_s: Breaker half-open cooldown (ignored with
+            ``config``).
+        max_stats_age_s: Staleness-guard sample age limit, None = off
+            (ignored with ``config``).
         config: Full service config override; defaults to a standard
-            config with the retry knobs above enabled.
+            config with the retry/resilience knobs above applied.
         topology_factory: Builds the network (defaults to GRNET).
         tracer: Optional structured trace handed to the service.
         name: Report label.
@@ -143,6 +187,12 @@ def run_resilience_experiment(
         config = ServiceConfig(
             retry_attempts=retry_attempts,
             retry_backoff_s=retry_backoff_s,
+            session_failover=session_failover,
+            failover_backoff_s=failover_backoff_s,
+            breaker_threshold=breaker_threshold,
+            breaker_window_s=breaker_window_s,
+            breaker_cooldown_s=breaker_cooldown_s,
+            max_stats_age_s=max_stats_age_s,
         )
     # Fault targets come from a probe topology; build_service constructs
     # its own instance from the same factory, so only names cross over.
@@ -213,6 +263,11 @@ def _build_report(
     finished = [r for r in records if r.request.finished]
     completed = [r for r in finished if r.completed]
     failed = [r for r in finished if not r.completed]
+    supervisor = service.supervisor
+    stalls = supervisor.stall_log if supervisor is not None else []
+    completed_stalls = [r.stall_s for r in completed]
+    breakers = service.breakers
+    guard = service.staleness_guard
     return ResilienceReport(
         name=name,
         seed=seed,
@@ -230,6 +285,20 @@ def _build_report(
         mean_fault_mttr_s=injector.mean_mttr_s,
         snmp_blackout_skips=service.statistics.blackout_skips,
         metrics=summarize_sessions(records),
+        failover_count=supervisor.failover_count if supervisor is not None else 0,
+        failover_stall_s_total=sum(stalls),
+        failover_stall_s_p95=percentile(stalls, 95.0) if stalls else 0.0,
+        sessions_failed_over=sum(1 for r in records if r.failover_count > 0),
+        failover_failed_sessions=(
+            supervisor.failed_count if supervisor is not None else 0
+        ),
+        preemptions=supervisor.preemption_count if supervisor is not None else 0,
+        p95_stall_s=(
+            percentile(completed_stalls, 95.0) if completed_stalls else 0.0
+        ),
+        breaker_trips=dict(breakers.opened_by_kind) if breakers is not None else {},
+        breaker_resets=dict(breakers.closed_by_kind) if breakers is not None else {},
+        stale_transitions=guard.transition_count if guard is not None else 0,
     )
 
 
@@ -253,6 +322,30 @@ def render_resilience_report(report: ResilienceReport) -> str:
         lines.append(
             f"  {kind:<16} {report.faults_injected[kind]:5d} injected"
             f"   {report.faults_recovered.get(kind, 0):5d} recovered"
+        )
+    if report.failover_count or report.preemptions or report.failover_failed_sessions:
+        lines.append(
+            f"failover      {report.failover_count:6d} migrations  "
+            f"{report.sessions_failed_over:6d} sessions moved       "
+            f"{report.failover_failed_sessions:6d} failed (no holder)"
+        )
+        lines.append(
+            f"  stall         {report.failover_stall_s_total:8.1f} s total   "
+            f"p95 {report.failover_stall_s_p95:8.1f} s per failover   "
+            f"({report.preemptions} preemption(s))"
+        )
+    if report.breaker_trips:
+        trips = sum(report.breaker_trips.values())
+        resets = sum(report.breaker_resets.values())
+        lines.append(
+            f"breakers      {trips:6d} tripped     {resets:6d} closed      "
+            + "  ".join(
+                f"{kind}:{count}" for kind, count in sorted(report.breaker_trips.items())
+            )
+        )
+    if report.stale_transitions:
+        lines.append(
+            f"staleness     {report.stale_transitions:6d} stale-set change(s)"
         )
     if report.metrics is not None:
         m = report.metrics

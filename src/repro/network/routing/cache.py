@@ -554,6 +554,33 @@ class DecisionCache:
             description="cached decisions evicted by a link delta on their tree",
         )
 
+    def evict_server(self, uid: str) -> int:
+        """Drop every cached decision whose chosen source is ``uid``.
+
+        Circuit-breaker transitions change which servers the service's
+        holder filter admits without moving any journal-backed version
+        counter; the service evicts the transitioning server's decisions
+        here so a probe (or a re-opened breaker) can never replay a
+        choice made under the previous breaker state.
+
+        Returns:
+            The number of decisions dropped.
+        """
+        if not self._entries:
+            return 0
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if getattr(entry.decision, "chosen_uid", None) == uid
+        ]
+        for key in stale:
+            del self._entries[key]
+            self.stats.decisions_dropped += 1
+            self._m_dropped.inc()
+        if stale:
+            self._full = len(self._entries) >= self.max_decisions
+        return len(stale)
+
     def count_hit(self) -> None:
         """Count a hit answered by an outer replay layer.
 

@@ -8,7 +8,7 @@ Dijkstra need.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.changes import DEFAULT_JOURNAL_CAPACITY, ChangeJournal
 from repro.errors import TopologyError
@@ -42,6 +42,12 @@ class Topology:
         #: storm larger than ``journal_capacity`` overflows the journal,
         #: which delta consumers must answer with a full recompute.
         self.change_journal = ChangeJournal(capacity=journal_capacity)
+        #: Optional listener fired (after versioning/journaling) whenever
+        #: a link's online state flips, with the link.  The service wires
+        #: its resilience layer here — session supervisor preemption and
+        #: link circuit breakers — so fault events reach them in the same
+        #: event that flipped the link.
+        self.on_state_change: Optional[Callable[[Link], None]] = None
 
     # ------------------------------------------------------------------ #
     # change versioning (feeds the epoch-versioned routing cache)
@@ -64,6 +70,8 @@ class Topology:
         else:
             self._traffic_version += 1
         self.change_journal.record(link.name, kind)
+        if kind == STATE_CHANGE and self.on_state_change is not None:
+            self.on_state_change(link)
 
     # ------------------------------------------------------------------ #
     # construction

@@ -1,0 +1,255 @@
+"""Mid-stream session failover.
+
+The paper's mid-stream switching only fires at scheduled cluster
+boundaries.  The :class:`SessionSupervisor` closes the gap between
+boundaries: it keeps an index of every active transfer segment keyed by
+serving server and by the links of its delivery path, and the moment a
+fault hits one of those resources (server crash, disk failure, path link
+offline) it *preempts* the session — cancels its pending transfer-step
+event via :meth:`repro.sim.process.Process.poke` — so the session
+re-runs the VRA immediately and migrates the remainder of the cluster to
+a surviving holder instead of stalling until the boundary (or dying).
+
+A session under failover fails only when no full copy of its title
+remains registered anywhere — transient outages (crashed holders that
+will recover, saturated stream slots, congested paths) are ridden out
+with backoff instead.  Every fail verdict lands in :attr:`failed_log`
+with the simulated timestamp; since a lost last copy implies no *online*
+full holder either, the property suite can check every entry against
+the stronger invariant.
+
+All bookkeeping is plain dicts keyed in insertion order and driven by
+the simulation clock, so seeded chaos runs replay bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.database.store import ServiceDatabase
+from repro.obs.registry import MetricsRegistry
+from repro.server.video_server import VideoServer
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+
+if TYPE_CHECKING:  # import cycle: session takes the supervisor as a param
+    from repro.core.session import StreamingSession
+    from repro.core.vra import VraDecision
+    from repro.network.link import Link
+    from repro.network.topology import Topology
+
+
+class SessionSupervisor:
+    """Index of active sessions by the resources currently serving them.
+
+    The service constructs one when ``ServiceConfig.session_failover`` is
+    on, adopts every session process it spawns, and routes fault events
+    (server/link state changes, disk failures) into it.  Sessions call
+    :meth:`track` / :meth:`untrack` around each transfer segment and use
+    the supervisor as their failover-control surface (:attr:`backoff_s`,
+    :meth:`holder_online`, :meth:`note_failover`, :meth:`note_failed`).
+
+    Args:
+        sim: The simulation engine.
+        servers: The service's servers by node uid.
+        database: The service database (full-holder lookups).
+        topology: The network (resolves decision paths to link names).
+        backoff_s: Wait between failover re-decide attempts while holders
+            exist but none is currently usable (e.g. stream slots full).
+        registry: Telemetry registry for the ``resilience.*`` instruments
+            (deterministic counters below are what reports read).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        servers: Dict[str, VideoServer],
+        database: ServiceDatabase,
+        topology: "Topology",
+        backoff_s: float = 15.0,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self._sim = sim
+        self._servers = servers
+        self._database = database
+        self._topology = topology
+        self.backoff_s = backoff_s
+        self._procs: Dict["StreamingSession", Process] = {}
+        #: session -> (server uid, link names) of the in-flight segment.
+        self._tracked: Dict["StreamingSession", Tuple[str, Tuple[str, ...]]] = {}
+        self._by_server: Dict[str, Dict["StreamingSession", None]] = {}
+        self._by_link: Dict[str, Dict["StreamingSession", None]] = {}
+        #: Deterministic counters and logs (reports + property suites).
+        self.preemption_count = 0
+        self.failover_count = 0
+        self.failed_count = 0
+        self.stall_log: List[float] = []
+        #: One entry per session failed for want of an online full holder:
+        #: ``{"at_s", "title_id", "reason"}``, chronological.
+        self.failed_log: List[Dict[str, object]] = []
+        registry = registry if registry is not None else MetricsRegistry(enabled=False)
+        self._m_preemptions = registry.counter(
+            "resilience.preemptions", subsystem="resilience",
+            description="transfer segments preempted by a fault on their path",
+        )
+        self._m_failovers = registry.counter(
+            "resilience.failovers", subsystem="resilience",
+            description="mid-stream migrations to a surviving holder",
+        )
+        self._m_failover_stall = registry.histogram(
+            "resilience.failover_stall_s", subsystem="resilience",
+            description="stall seconds per mid-stream failover",
+        )
+        self._m_failed = registry.counter(
+            "resilience.failover_failed", subsystem="resilience",
+            description="sessions failed with no online full holder left",
+        )
+
+    # ------------------------------------------------------------------ #
+    # session registry (service + session call sites)
+    # ------------------------------------------------------------------ #
+    def adopt(self, session: "StreamingSession", process: Process) -> None:
+        """Register the process driving ``session`` (enables preemption)."""
+        self._procs[session] = process
+
+    def track(self, session: "StreamingSession", decision: "VraDecision") -> None:
+        """Index a transfer segment by its source server and path links."""
+        self.untrack(session)
+        if decision.served_locally or decision.path.hop_count == 0:
+            links: Tuple[str, ...] = ()
+        else:
+            links = tuple(
+                link.name for link in self._topology.path_links(decision.path.nodes)
+            )
+        uid = decision.chosen_uid
+        self._tracked[session] = (uid, links)
+        self._by_server.setdefault(uid, {})[session] = None
+        for name in links:
+            self._by_link.setdefault(name, {})[session] = None
+
+    def untrack(self, session: "StreamingSession") -> None:
+        """Drop the session's segment index entry (segment over)."""
+        entry = self._tracked.pop(session, None)
+        if entry is None:
+            return
+        uid, links = entry
+        bucket = self._by_server.get(uid)
+        if bucket is not None:
+            bucket.pop(session, None)
+            if not bucket:
+                del self._by_server[uid]
+        for name in links:
+            bucket = self._by_link.get(name)
+            if bucket is not None:
+                bucket.pop(session, None)
+                if not bucket:
+                    del self._by_link[name]
+
+    def discard(self, session: "StreamingSession") -> None:
+        """Forget a finished session entirely."""
+        self.untrack(session)
+        self._procs.pop(session, None)
+
+    @property
+    def tracked_count(self) -> int:
+        """Active transfer segments currently indexed."""
+        return len(self._tracked)
+
+    # ------------------------------------------------------------------ #
+    # fault-event intake (service + injector call sites)
+    # ------------------------------------------------------------------ #
+    def on_server_state(self, server: VideoServer) -> None:
+        """A server flipped online state; preempt its sessions if down."""
+        if server.online:
+            return
+        self._preempt_bucket(
+            self._by_server.get(server.node_uid), f"server:{server.node_uid}"
+        )
+
+    def on_link_state(self, link: "Link") -> None:
+        """A link flipped online state; preempt path users if down."""
+        if link.online:
+            return
+        self._preempt_bucket(self._by_link.get(link.name), f"link:{link.name}")
+
+    def on_disk_failure(self, server_uid: str) -> None:
+        """A disk died; preempt sessions whose title it made unservable."""
+        bucket = self._by_server.get(server_uid)
+        if not bucket:
+            return
+        server = self._servers.get(server_uid)
+        for session in list(bucket):
+            if server is None or not server.has_title(session.title_id):
+                self._preempt(session, f"disk:{server_uid}")
+
+    def _preempt_bucket(
+        self, bucket: Optional[Dict["StreamingSession", None]], reason: str
+    ) -> None:
+        if not bucket:
+            return
+        for session in list(bucket):
+            self._preempt(session, reason)
+
+    def _preempt(self, session: "StreamingSession", reason: str) -> None:
+        session.preempt(reason)
+        self.preemption_count += 1
+        self._m_preemptions.inc()
+        process = self._procs.get(session)
+        if process is not None:
+            # Best-effort: a session between delay events (its wake is
+            # already queued at this timestamp) sees the preempt flag on
+            # that wake instead.
+            process.poke(reason)
+
+    # ------------------------------------------------------------------ #
+    # failover-control surface (session call sites)
+    # ------------------------------------------------------------------ #
+    def holder_exists(self, title_id: str) -> bool:
+        """Is a full copy of the title still registered anywhere?
+
+        The session's fail-or-wait verdict: a routing failure while a
+        full holder remains (crashed but recovering, slots full, path
+        congested) is transient — keep stalling.  Only when the last
+        full copy is gone does the session fail (and the verdict is
+        logged); by then :meth:`holder_online` is necessarily False
+        too, which is the invariant the property suite checks.
+        """
+        return bool(self._database.servers_with_title(title_id, min_fraction=1.0))
+
+    def holder_online(self, title_id: str) -> bool:
+        """Does any online, servable full holder exist right now?
+
+        Strictly stronger than :meth:`holder_exists`; the property
+        suite asserts no session ever failed at an instant this was
+        True.
+        """
+        for uid in self._database.servers_with_title(title_id, min_fraction=1.0):
+            server = self._servers.get(uid)
+            if server is not None and server.online and server.has_title(title_id):
+                return True
+        return False
+
+    def note_failover(self, stall_s: float) -> None:
+        """A session migrated mid-stream after ``stall_s`` of stall."""
+        self.failover_count += 1
+        self.stall_log.append(stall_s)
+        self._m_failovers.inc()
+        self._m_failover_stall.observe(stall_s)
+
+    def note_failed(self, title_id: str, reason: str) -> None:
+        """A session is about to fail: no online full holder remained."""
+        self.failed_count += 1
+        self.failed_log.append(
+            {"at_s": self._sim.now, "title_id": title_id, "reason": reason}
+        )
+        self._m_failed.inc()
+
+    # ------------------------------------------------------------------ #
+    def report(self) -> Dict[str, object]:
+        """Deterministic summary for experiment reports."""
+        return {
+            "preemptions": self.preemption_count,
+            "failovers": self.failover_count,
+            "failover_stall_s_total": sum(self.stall_log),
+            "failed_no_holder": self.failed_count,
+        }

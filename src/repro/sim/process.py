@@ -120,6 +120,30 @@ class Process:
         self._finish()
         return True
 
+    def poke(self, payload: Any = None) -> bool:
+        """Wake a process sleeping on a :class:`Delay` at the current time.
+
+        The pending delay event is cancelled and the generator resumes via
+        a zero-delay event with ``payload`` as the value of the ``yield``
+        expression.  Unlike :meth:`interrupt` the generator keeps running —
+        this is the preemption primitive the session supervisor uses to
+        pull a streaming session out of a long transfer step the moment a
+        fault hits its source.  A process waiting on a signal (no pending
+        delay event) or already finished is left alone.
+
+        Returns:
+            True if the process was sleeping and has been rescheduled.
+        """
+        if self._finished or self._pending_handle is None:
+            return False
+        if not self._pending_handle.pending:
+            return False
+        self._pending_handle.cancel()
+        self._pending_handle = self._sim.schedule(
+            0.0, self._resume, payload, name=f"poke:{self.name}"
+        )
+        return True
+
     # ------------------------------------------------------------------ #
     def _resume(self, payload: Any) -> None:
         if self._finished:

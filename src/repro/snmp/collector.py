@@ -13,7 +13,7 @@ paper's design implies (last write wins).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.database.access import DatabaseHandle
 from repro.database.records import LinkStats
@@ -129,6 +129,12 @@ class StatisticsService:
         self._m_samples = NULL_COUNTER
         self._m_changed = NULL_COUNTER
         self._m_blackout_skips = NULL_COUNTER
+        #: Optional listener fired after each successful (non-blacked-out)
+        #: collection round.  The service wires the staleness guard's
+        #: refresh here so fresh samples clear degraded routing in the
+        #: same event that wrote them; blackout-skipped rounds do not
+        #: fire it (the guard's own periodic check covers the gap).
+        self.on_round: Optional[Callable[[], None]] = None
 
     def attach_metrics(self, registry: MetricsRegistry) -> None:
         """Resolve the collection-round / sample counters from a registry."""
@@ -217,3 +223,5 @@ class StatisticsService:
                 self._m_changed.inc(module.changed_samples - changed_before)
         finally:
             self.phase_timer.stop(t_phase)
+        if self.on_round is not None:
+            self.on_round()
